@@ -1,0 +1,63 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// regenerates one figure (or the in-text overhead table) of the paper's
+// evaluation section and prints the series as aligned text tables.
+//
+// Scaling note: the paper's testbed is 22 four-core VMs with 40,000
+// subscriptions and rates above 100k msgs/sec; the benches default to 8,000
+// subscriptions so each binary finishes in minutes on one host. Absolute
+// rates therefore differ from the paper; the comparisons (who wins, how
+// ratios move with cluster size and skew) are the reproduced result.
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace bluedove::benchutil {
+
+/// Baseline experiment configuration shared by the figure benches.
+inline ExperimentConfig default_config() {
+  ExperimentConfig cfg;
+  cfg.dims = 4;
+  cfg.domain_length = 1000.0;
+  cfg.subscriptions = 8000;
+  cfg.predicate_width = 250.0;
+  cfg.sub_sigma = 250.0;
+  cfg.matchers = 20;
+  cfg.dispatchers = 2;
+  cfg.cores = 4;
+  cfg.seed = 2011;  // IPDPS 2011
+  return cfg;
+}
+
+/// Probe options tuned for bench runtime (short warmup/measure windows).
+inline Deployment::ProbeOptions default_probe() {
+  Deployment::ProbeOptions probe;
+  probe.start_rate = 2000.0;
+  probe.growth = 1.7;
+  probe.warmup = 2.0;
+  probe.measure = 6.0;
+  probe.refine_steps = 3;
+  return probe;
+}
+
+/// Builds a deployment, loads subscriptions and returns its saturation rate.
+inline double saturation_rate(ExperimentConfig cfg,
+                              Deployment::ProbeOptions probe) {
+  Deployment dep(std::move(cfg));
+  dep.start();
+  return dep.find_saturation_rate(probe);
+}
+
+inline void header(const char* fig, const char* title) {
+  std::printf("=============================================================\n");
+  std::printf("%s: %s\n", fig, title);
+  std::printf("=============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace bluedove::benchutil

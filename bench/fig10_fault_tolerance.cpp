@@ -1,0 +1,113 @@
+// Reproduces Fig 10: fault tolerance. Starting from 20 matchers, one
+// matcher crashes every minute. Messages routed to the dead matcher before
+// the failure is detected are lost; the loss rate spikes after each crash
+// and returns to zero once gossip convicts the failure and dispatchers
+// reroute. Response time rises slightly but the system never saturates.
+//
+// Paper: loss spikes to ~5% and recovers within 17.5 s on average; crashes
+// every 5 minutes. Scaled here: crash every 60 s, 6 crashes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bluedove;
+
+int main() {
+  benchutil::header("Fig 10", "fault tolerance: serial matcher crashes");
+
+  ExperimentConfig cfg = benchutil::default_config();
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 20;
+
+  Deployment dep(cfg);
+  dep.start();
+
+  // Run at ~50% of the healthy capacity so losing several matchers does not
+  // saturate the survivors (the paper's setup keeps functioning too).
+  const double sat = dep.find_saturation_rate(benchutil::default_probe());
+  const double rate = 0.5 * sat;
+  dep.set_rate(rate);
+  dep.run_for(10.0);
+
+  const Timestamp t0 = dep.now();
+  std::vector<Timestamp> crash_times;
+  std::size_t next_victim = 0;
+
+  std::printf("\nrate=%.0f msg/s; crashing one matcher every 60 s\n", rate);
+  std::printf("%8s %10s %10s %12s %9s\n", "t(s)", "loss(%)", "rt(ms)",
+              "completed", "alive");
+
+  const double kBucket = 5.0;
+  std::uint64_t last_pub = dep.published();
+  std::uint64_t last_done = dep.completed();
+  for (int tick = 1; tick <= 72; ++tick) {  // 360 s total
+    if (tick % 12 == 1 && next_victim < 6) {
+      const NodeId victim = dep.matcher_ids()[next_victim * 3];  // spread out
+      dep.kill_matcher(victim);
+      crash_times.push_back(dep.now());
+      ++next_victim;
+      std::printf("  -- crash: matcher %u at t=%.0fs\n", victim,
+                  dep.now() - t0);
+    }
+    (void)dep.responses().window();
+    dep.run_for(kBucket);
+    const OnlineStats w = dep.responses().window();
+    const std::uint64_t pub = dep.published();
+    const std::uint64_t done = dep.completed();
+    const double published_delta = static_cast<double>(pub - last_pub);
+    const double completed_delta = static_cast<double>(done - last_done);
+    const double loss =
+        published_delta > 0
+            ? 100.0 * std::max(0.0, published_delta - completed_delta) /
+                  published_delta
+            : 0.0;
+    last_pub = pub;
+    last_done = done;
+    std::size_t alive = 0;
+    for (NodeId id : dep.matcher_ids()) {
+      if (dep.sim().alive(id)) ++alive;
+    }
+    std::printf("%8.0f %10.1f %10.2f %12llu %9zu\n", dep.now() - t0, loss,
+                w.mean() * 1e3, (unsigned long long)done, alive);
+  }
+
+  const std::uint64_t lost = dep.sim().lost_match_requests();
+  std::printf("\ntotal messages lost to dead matchers: %llu of %llu (%.2f%%)\n",
+              (unsigned long long)lost, (unsigned long long)dep.published(),
+              100.0 * static_cast<double>(lost) /
+                  static_cast<double>(dep.published()));
+  std::printf(
+      "\npaper: loss spikes to ~5%% after each crash and returns to 0 within\n"
+      "~17.5 s (failure detection + reroute); response time rises slightly\n"
+      "but the system keeps running.\n");
+
+  // Ablation: the paper's §VI message-persistence extension. With reliable
+  // delivery the dispatcher re-dispatches unacknowledged messages, so the
+  // crash window loses (essentially) nothing.
+  std::printf("\nablation: same crash sequence with reliable delivery on\n");
+  {
+    ExperimentConfig rcfg = cfg;
+    rcfg.reliable_delivery = true;
+    Deployment rdep(rcfg);
+    rdep.start();
+    rdep.set_rate(rate);
+    rdep.run_for(10.0);
+    for (int i = 0; i < 3; ++i) {
+      rdep.kill_matcher(rdep.matcher_ids()[static_cast<std::size_t>(i) * 3]);
+      rdep.run_for(60.0);
+    }
+    rdep.set_rate(0.0);
+    rdep.run_for(15.0);
+    const std::uint64_t shortfall = rdep.published() - rdep.completed();
+    std::printf(
+        "  published=%llu completed=%llu permanent shortfall=%llu "
+        "(%.4f%%)\n  hit-dead-matcher=%llu (all re-dispatched)\n",
+        (unsigned long long)rdep.published(),
+        (unsigned long long)rdep.completed(), (unsigned long long)shortfall,
+        100.0 * static_cast<double>(shortfall) /
+            static_cast<double>(rdep.published()),
+        (unsigned long long)rdep.sim().lost_match_requests());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Fig 11: impact of workload characteristics on BlueDove's
+// saturation rate. Three sweeps, one per sub-figure:
+//   (a) number of searchable dimensions, 1..4  (paper: 4 dims ~5.5x 1 dim)
+//   (b) subscription skew, sigma 250..1000     (paper: ~40% drop, still >> P2P)
+//   (c) adversely skewed message dimensions    (paper: >50% drop at 4,
+//       0..4                                    still > P2P)
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bluedove;
+
+int main() {
+  benchutil::header("Fig 11", "impact of workload characteristics");
+
+  // P2P reference at the default workload, for the paper's comparisons.
+  double p2p_rate = 0.0;
+  {
+    ExperimentConfig cfg = benchutil::default_config();
+    cfg.system = SystemKind::kP2P;
+    p2p_rate = benchutil::saturation_rate(cfg, benchutil::default_probe());
+  }
+  std::printf("P2P reference rate (default workload): %.0f msg/s\n\n",
+              p2p_rate);
+
+  // (a) searchable dimensions.
+  std::printf("Fig 11a: searchable dimensions (BlueDove)\n");
+  std::printf("%8s %12s\n", "dims", "sat rate");
+  double one_dim = 0.0, four_dim = 0.0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    ExperimentConfig cfg = benchutil::default_config();
+    cfg.system = SystemKind::kBlueDove;
+    cfg.searchable_dims = k;
+    const double rate =
+        benchutil::saturation_rate(cfg, benchutil::default_probe());
+    if (k == 1) one_dim = rate;
+    if (k == 4) four_dim = rate;
+    std::printf("%8zu %12.0f\n", k, rate);
+    std::fflush(stdout);
+  }
+  std::printf("4-dim vs 1-dim: %.1fx (paper: 5.5x)\n\n",
+              one_dim > 0 ? four_dim / one_dim : 0.0);
+
+  // (b) subscription skew.
+  std::printf("Fig 11b: subscription distribution stdev (BlueDove)\n");
+  std::printf("%8s %12s\n", "sigma", "sat rate");
+  double sigma250 = 0.0, sigma1000 = 0.0;
+  for (double sigma : {250.0, 500.0, 750.0, 1000.0}) {
+    ExperimentConfig cfg = benchutil::default_config();
+    cfg.system = SystemKind::kBlueDove;
+    cfg.sub_sigma = sigma;
+    const double rate =
+        benchutil::saturation_rate(cfg, benchutil::default_probe());
+    if (sigma == 250.0) sigma250 = rate;
+    if (sigma == 1000.0) sigma1000 = rate;
+    std::printf("%8.0f %12.0f\n", sigma, rate);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "drop from sigma 250 to 1000: %.0f%% (paper: ~40%%); rate at 1000 vs "
+      "P2P: %.1fx\n\n",
+      sigma250 > 0 ? 100.0 * (1.0 - sigma1000 / sigma250) : 0.0,
+      p2p_rate > 0 ? sigma1000 / p2p_rate : 0.0);
+
+  // (c) adversely skewed message dimensions.
+  std::printf("Fig 11c: adversely skewed message dimensions (BlueDove)\n");
+  std::printf("%8s %12s\n", "skewed", "sat rate");
+  double skew0 = 0.0, skew4 = 0.0;
+  for (std::size_t j = 0; j <= 4; ++j) {
+    ExperimentConfig cfg = benchutil::default_config();
+    cfg.system = SystemKind::kBlueDove;
+    cfg.msg_skewed_dims = j;
+    const double rate =
+        benchutil::saturation_rate(cfg, benchutil::default_probe());
+    if (j == 0) skew0 = rate;
+    if (j == 4) skew4 = rate;
+    std::printf("%8zu %12.0f\n", j, rate);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "drop with all 4 dims skewed: %.0f%% (paper: >50%%); rate vs P2P: "
+      "%.1fx (paper: still above P2P)\n",
+      skew0 > 0 ? 100.0 * (1.0 - skew4 / skew0) : 0.0,
+      p2p_rate > 0 ? skew4 / p2p_rate : 0.0);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Fig 7: saturation message rate of the four forwarding
+// policies at 20 matchers.
+//
+// Paper: adaptive is best — 1.1x the response-time policy (which lacks the
+// queue-length extrapolation), 1.2x the subscription-amount policy, and
+// 3.5x the random policy.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bluedove;
+
+int main() {
+  benchutil::header("Fig 7", "forwarding-policy comparison (N=20)");
+
+  const PolicyKind policies[] = {PolicyKind::kAdaptive,
+                                 PolicyKind::kResponseTime,
+                                 PolicyKind::kSubscriptionCount,
+                                 PolicyKind::kRandom};
+  double rates[4] = {};
+  std::printf("\n%-16s %14s\n", "policy", "sat rate");
+  for (int p = 0; p < 4; ++p) {
+    ExperimentConfig cfg = benchutil::default_config();
+    cfg.system = SystemKind::kBlueDove;
+    cfg.policy = policies[p];
+    rates[p] = benchutil::saturation_rate(cfg, benchutil::default_probe());
+    std::printf("%-16s %14.0f\n", to_string(policies[p]), rates[p]);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nadaptive vs others:\n");
+  for (int p = 1; p < 4; ++p) {
+    std::printf("  vs %-14s %5.2fx\n", to_string(policies[p]),
+                rates[p] > 0 ? rates[0] / rates[p] : 0.0);
+  }
+  std::printf(
+      "\npaper: adaptive 1.1x response-time, 1.2x sub-count, 3.5x random;\n"
+      "expected ordering: adaptive >= response-time >= sub-count > random.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks for the subscription matching engines (real wall-clock
+// performance, unlike the figure benches which run on simulated time).
+// Also serves as the ablation for the DESIGN.md index-engine choice.
+
+#include <benchmark/benchmark.h>
+
+#include "attr/schema.h"
+#include "index/subscription_index.h"
+#include "workload/generators.h"
+
+using namespace bluedove;
+
+namespace {
+
+IndexKind kind_of(int arg) {
+  switch (arg) {
+    case 0:
+      return IndexKind::kLinearScan;
+    case 1:
+      return IndexKind::kBucket;
+    default:
+      return IndexKind::kIntervalTree;
+  }
+}
+
+std::unique_ptr<SubscriptionIndex> build_index(IndexKind kind,
+                                               std::size_t subs) {
+  const AttributeSchema schema = AttributeSchema::uniform(4);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  SubscriptionGenerator gen(wl, 99);
+  auto index = make_index(kind, 0, schema.domain(0));
+  for (std::size_t i = 0; i < subs; ++i) {
+    index->insert(std::make_shared<const Subscription>(gen.next()));
+  }
+  return index;
+}
+
+void BM_IndexMatch(benchmark::State& state) {
+  const IndexKind kind = kind_of(static_cast<int>(state.range(0)));
+  const auto subs = static_cast<std::size_t>(state.range(1));
+  auto index = build_index(kind, subs);
+
+  const AttributeSchema schema = AttributeSchema::uniform(4);
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 7);
+  std::vector<SubPtr> out;
+  WorkCounter wc;
+  for (auto _ : state) {
+    out.clear();
+    Message msg = mgen.next();
+    index->match(msg, out, wc);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(to_string(kind));
+  state.counters["work/probe"] =
+      benchmark::Counter(wc.total() / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_IndexMatch)
+    ->ArgsProduct({{0, 1, 2}, {1000, 10000, 40000}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IndexInsert(benchmark::State& state) {
+  const IndexKind kind = kind_of(static_cast<int>(state.range(0)));
+  const AttributeSchema schema = AttributeSchema::uniform(4);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  SubscriptionGenerator gen(wl, 99);
+  auto index = make_index(kind, 0, schema.domain(0));
+  for (auto _ : state) {
+    index->insert(std::make_shared<const Subscription>(gen.next()));
+    if (index->size() >= 100000) {
+      state.PauseTiming();
+      index->clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_IndexInsert)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IndexErase(benchmark::State& state) {
+  const IndexKind kind = kind_of(static_cast<int>(state.range(0)));
+  auto index = build_index(kind, 20000);
+  SubscriptionId next = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->erase(next));
+    next = next % 20000 + 1;
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_IndexErase)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullMatchPredicate(benchmark::State& state) {
+  const AttributeSchema schema = AttributeSchema::uniform(4);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  SubscriptionGenerator gen(wl, 3);
+  const Subscription sub = gen.next();
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 4);
+  Message msg = mgen.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sub.matches(msg));
+  }
+}
+BENCHMARK(BM_FullMatchPredicate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

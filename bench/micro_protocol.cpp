@@ -1,0 +1,86 @@
+// Microbenchmarks for the wire protocol and gossip state machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "attr/schema.h"
+#include "gossip/failure_detector.h"
+#include "net/cluster_table.h"
+#include "net/protocol.h"
+#include "workload/generators.h"
+
+using namespace bluedove;
+
+namespace {
+
+ClusterTable table_of(std::size_t n) {
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(1000 + i);
+  std::vector<Range> domains(4, Range{0, 1000});
+  return bootstrap_table(ids, domains);
+}
+
+void BM_EnvelopeRoundTrip(benchmark::State& state) {
+  const AttributeSchema schema = AttributeSchema::uniform(4);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  SubscriptionGenerator gen(wl, 5);
+  const Envelope env = Envelope::of(StoreSubscription{gen.next(), 2});
+  for (auto _ : state) {
+    serde::Writer w;
+    write_envelope(w, env);
+    serde::Reader r(w.bytes());
+    Envelope back = read_envelope(r);
+    benchmark::DoNotOptimize(back.payload.index());
+  }
+}
+BENCHMARK(BM_EnvelopeRoundTrip);
+
+void BM_ClusterTableSerialize(benchmark::State& state) {
+  const ClusterTable table = table_of(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    serde::Writer w;
+    write_cluster_table(w, table);
+    bytes = w.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ClusterTableSerialize)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_ClusterTableMerge(benchmark::State& state) {
+  const ClusterTable incoming = table_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ClusterTable mine = table_of(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(mine.merge(incoming));
+  }
+}
+BENCHMARK(BM_ClusterTableMerge)->Arg(20)->Arg(100);
+
+void BM_DigestBuild(benchmark::State& state) {
+  const ClusterTable table = table_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto digests = table.digests();
+    benchmark::DoNotOptimize(digests.data());
+  }
+}
+BENCHMARK(BM_DigestBuild)->Arg(20)->Arg(100);
+
+void BM_FailureDetectorPhi(benchmark::State& state) {
+  FailureDetector fd;
+  for (NodeId id = 0; id < 100; ++id) {
+    for (int hb = 0; hb < 16; ++hb) {
+      fd.heartbeat(id, static_cast<double>(hb));
+    }
+  }
+  NodeId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd.phi(id, 20.0));
+    id = (id + 1) % 100;
+  }
+}
+BENCHMARK(BM_FailureDetectorPhi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces the in-text overhead analysis of §IV-C: the control-plane
+// traffic needed to maintain the overlay and the dispatchers' load view.
+//
+// Paper accounting, per matcher per second:
+//   gossip            ~2.9 KB (table exchange with random peers)
+//   dispatcher pulls   60*N bytes per dispatcher every 10 s  => ~6*D B/s
+//   load pushes        64 bytes to each dispatcher when load changes >10%
+//   total             ~2.9K + 20*D bytes/sec
+//
+// This bench measures the real serialized control-plane bytes flowing
+// through the simulator and prints the same breakdown.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bluedove;
+
+int main() {
+  benchutil::header("Overhead (sec IV-C)",
+                    "control-plane bytes per matcher per second");
+
+  std::printf("\n%6s %6s %16s %16s %16s\n", "N", "D", "sent B/s", "recv B/s",
+              "total B/s");
+  for (std::size_t n : {5, 10, 20}) {
+    for (std::size_t d : {2, 4}) {
+      ExperimentConfig cfg = benchutil::default_config();
+      cfg.system = SystemKind::kBlueDove;
+      cfg.matchers = n;
+      cfg.dispatchers = d;
+      cfg.subscriptions = 4000;
+      Deployment dep(cfg);
+      dep.start();
+      // Steady moderate load so load reports fire realistically.
+      dep.set_rate(2000.0);
+      dep.run_for(5.0);
+
+      // Measure over a 60 s window.
+      std::uint64_t sent0 = 0, recv0 = 0;
+      for (NodeId id : dep.matcher_ids()) {
+        sent0 += dep.sim().traffic(id).bytes_sent;
+        recv0 += dep.sim().traffic(id).bytes_received;
+      }
+      const double window = 60.0;
+      dep.run_for(window);
+      std::uint64_t sent1 = 0, recv1 = 0;
+      for (NodeId id : dep.matcher_ids()) {
+        sent1 += dep.sim().traffic(id).bytes_sent;
+        recv1 += dep.sim().traffic(id).bytes_received;
+      }
+      const double per_matcher = static_cast<double>(n) * window;
+      const double sent = static_cast<double>(sent1 - sent0) / per_matcher;
+      const double recv = static_cast<double>(recv1 - recv0) / per_matcher;
+      std::printf("%6zu %6zu %16.0f %16.0f %16.0f\n", n, d, sent, recv,
+                  sent + recv);
+    }
+  }
+  std::printf(
+      "\npaper: ~2.9 KB/s gossip + 6D B/s pulls + 20D B/s load pushes per\n"
+      "matcher — a few KB/s, negligible on gigabit links. Expected shape:\n"
+      "roughly flat in N (gossip fanout grows log N but the table grows\n"
+      "linearly), slightly increasing with D.\n");
+  return 0;
+}

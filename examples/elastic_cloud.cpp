@@ -1,0 +1,76 @@
+// Elastic cloud operation on the deterministic simulator.
+//
+// The Service facade (quickstart, traffic_monitoring, stock_ticker) runs a
+// real threaded cluster; this example instead drives the simulation harness
+// — the same tool the figure benches use — to show a full elasticity story
+// in fast-forward: a day's load curve (quiet night, morning surge, evening
+// decline) with the auto-scaler growing the matcher tier during the rush
+// and an operator gracefully retiring matchers afterwards.
+//
+//   $ ./elastic_cloud
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace bluedove;
+
+int main() {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 4;
+  cfg.subscriptions = 6000;
+  cfg.auto_scale = true;
+  cfg.table_pull_interval = 5.0;
+  cfg.seed = 99;
+
+  Deployment dep(cfg);
+  dep.start();
+
+  std::printf("simulated day (compressed): rate follows a diurnal curve\n");
+  std::printf("%8s %10s %10s %10s %9s\n", "phase", "rate", "rt(ms)",
+              "backlog", "matchers");
+
+  auto report = [&](const char* phase, double rate) {
+    (void)dep.responses().window();
+    dep.set_rate(rate);
+    dep.run_for(30.0);
+    const OnlineStats w = dep.responses().window();
+    std::size_t live = 0;
+    for (NodeId id : dep.matcher_ids()) {
+      if (dep.sim().alive(id)) ++live;
+    }
+    std::printf("%8s %10.0f %10.2f %10zu %9zu\n", phase, rate,
+                w.mean() * 1e3, dep.backlog(), live);
+    return live;
+  };
+
+  report("night", 300);
+  report("dawn", 1500);
+  report("rush-1", 5000);
+  report("rush-2", 9000);
+  report("peak-1", 14000);
+  const std::size_t peak = report("peak-2", 14000);
+  report("midday", 4000);
+  const std::size_t after_peak = peak;
+
+  // Evening: the operator retires surplus matchers gracefully; their
+  // segments and subscriptions merge into neighbours (paper §III-C).
+  std::size_t retired = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    if (retired >= 2) break;
+    if (!dep.sim().alive(id)) continue;
+    dep.leave_matcher(id);
+    dep.run_for(3.0);
+    dep.kill_matcher(id);  // process shutdown after handover
+    ++retired;
+  }
+  report("evening", 1500);
+  report("night-2", 300);
+
+  std::printf(
+      "\nthe tier grew from 4 to %zu matchers during the surge and shrank "
+      "by %zu at night;\nresponse time stayed bounded throughout.\n",
+      after_peak, retired);
+  return after_peak > 4 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Stock-quote distribution — another §I application class.
+//
+// Quotes carry (symbol-id, price, percent-change, volume). Traders register
+// alert subscriptions such as "any stock in my watchlist that moves more
+// than 3% on heavy volume". Demonstrates unsubscribe and elastic scale-out
+// while the feed is running.
+//
+//   $ ./stock_ticker
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/service.h"
+
+using namespace bluedove;
+
+int main() {
+  AttributeSchema schema({
+      {"symbol", Range{0, 500}},      // 500 instruments, ordered by id
+      {"price", Range{0, 2000}},      // dollars
+      {"change", Range{-20, 20}},     // percent since open
+      {"volume", Range{0, 1000000}},  // shares per tick
+  });
+
+  ServiceConfig cfg;
+  cfg.schema = schema;
+  cfg.matchers = 4;
+  Service service(cfg);
+
+  std::atomic<int> momentum_alerts{0};
+  std::atomic<int> crash_alerts{0};
+  std::atomic<int> penny_alerts{0};
+
+  // Trader 1: tech block (symbols 100-150) up >3% on volume > 100k.
+  service.subscribe(
+      {Range{100, 150}, Range{0, 2000}, Range{3, 20}, Range{100000, 1000000}},
+      [&](const Delivery&) { momentum_alerts.fetch_add(1); });
+  // Trader 2: anything dropping more than 8%.
+  const SubscriptionId crash_sub = service.subscribe(
+      {Range{0, 500}, Range{0, 2000}, Range{-20, -8}, Range{0, 1000000}},
+      [&](const Delivery&) { crash_alerts.fetch_add(1); });
+  // Trader 3: penny stocks (price < 5) with any movement.
+  service.subscribe(
+      {Range{0, 500}, Range{0, 5}, Range{-20, 20}, Range{0, 1000000}},
+      [&](const Delivery&) { penny_alerts.fetch_add(1); });
+  service.settle();
+
+  Rng rng(7);
+  auto publish_ticks = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const double symbol = rng.uniform(0, 500);
+      const double price =
+          rng.next_double() < 0.1 ? rng.uniform(0.5, 5) : rng.uniform(5, 1800);
+      const double change = rng.next_gaussian() * 4.0;
+      const double volume = rng.uniform(0, 900000);
+      service.publish({symbol, price,
+                       std::min(19.9, std::max(-19.9, change)), volume});
+    }
+  };
+
+  publish_ticks(3000);
+  service.wait_idle(10.0);
+  service.settle(0.2);
+  std::printf("after first session:  momentum=%d crash=%d penny=%d\n",
+              momentum_alerts.load(), crash_alerts.load(),
+              penny_alerts.load());
+
+  // The crash trader logs off; the feed heats up, so the operator scales
+  // the matcher tier out by one node (elastic join under live traffic).
+  service.unsubscribe(crash_sub);
+  service.add_matcher();
+  service.settle(0.5);
+  const int crash_before = crash_alerts.load();
+
+  publish_ticks(3000);
+  service.wait_idle(10.0);
+  service.settle(0.2);
+  std::printf("after second session: momentum=%d crash=%d penny=%d\n",
+              momentum_alerts.load(), crash_alerts.load(), penny_alerts.load());
+  std::printf("matcher count now: %zu\n", service.matcher_count());
+
+  const bool crash_quiet = crash_alerts.load() == crash_before;
+  std::printf("crash trader stayed quiet after unsubscribe: %s\n",
+              crash_quiet ? "yes" : "NO");
+  return crash_quiet && momentum_alerts.load() > 0 && penny_alerts.load() > 0
+             ? 0
+             : 1;
+}

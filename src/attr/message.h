@@ -1,0 +1,25 @@
+#pragma once
+// A published message: a point in the attribute space plus an opaque payload.
+
+#include <string>
+#include <vector>
+
+#include "attr/value.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+struct Message {
+  MessageId id = 0;
+  std::vector<Value> values;  ///< one coordinate per schema dimension
+  std::string payload;        ///< application data, not used for matching
+
+  Value value(DimId dim) const { return values[dim]; }
+  std::size_t dimensions() const { return values.size(); }
+};
+
+void write_message(serde::Writer& w, const Message& m);
+Message read_message(serde::Reader& r);
+
+}  // namespace bluedove

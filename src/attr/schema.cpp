@@ -1,0 +1,41 @@
+#include "attr/schema.h"
+
+namespace bluedove {
+
+AttributeSchema::AttributeSchema(std::vector<Dimension> dims)
+    : dims_(std::move(dims)) {}
+
+AttributeSchema AttributeSchema::uniform(std::size_t k, Value length) {
+  std::vector<Dimension> dims;
+  dims.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    dims.push_back(Dimension{"dim" + std::to_string(i), Range{0.0, length}});
+  }
+  return AttributeSchema(std::move(dims));
+}
+
+std::size_t AttributeSchema::find(const std::string& name) const {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].name == name) return i;
+  }
+  return dims_.size();
+}
+
+bool AttributeSchema::valid_point(const std::vector<Value>& values) const {
+  if (values.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!dims_[i].domain.contains(values[i])) return false;
+  }
+  return true;
+}
+
+bool AttributeSchema::valid_predicates(const std::vector<Range>& ranges) const {
+  if (ranges.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].empty()) return false;
+    if (!ranges[i].overlaps(dims_[i].domain)) return false;
+  }
+  return true;
+}
+
+}  // namespace bluedove

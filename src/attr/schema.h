@@ -1,0 +1,50 @@
+#pragma once
+// AttributeSchema describes the k searchable dimensions of an application's
+// attribute space: each dimension has a name and a value domain (the paper's
+// default is four dimensions, each with domain [0, 1000)).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "attr/value.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+class AttributeSchema {
+ public:
+  struct Dimension {
+    std::string name;
+    Range domain;  ///< set of admissible values V^i
+  };
+
+  AttributeSchema() = default;
+  explicit AttributeSchema(std::vector<Dimension> dims);
+
+  /// The paper's evaluation schema: `k` unnamed dimensions over [0, length).
+  static AttributeSchema uniform(std::size_t k, Value length = 1000.0);
+
+  std::size_t dimensions() const { return dims_.size(); }
+  const Dimension& dim(DimId i) const { return dims_[i]; }
+  const Range& domain(DimId i) const { return dims_[i].domain; }
+  const std::string& name(DimId i) const { return dims_[i].name; }
+
+  /// Index of a dimension by name; returns dimensions() when absent.
+  std::size_t find(const std::string& name) const;
+
+  /// A point is valid when it has k coordinates, each inside its domain.
+  bool valid_point(const std::vector<Value>& values) const;
+
+  /// A predicate list is valid when it has k non-empty ranges, each
+  /// intersecting its domain.
+  bool valid_predicates(const std::vector<Range>& ranges) const;
+
+  friend bool operator==(const AttributeSchema&,
+                         const AttributeSchema&) = default;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+}  // namespace bluedove

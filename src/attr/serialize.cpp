@@ -1,0 +1,41 @@
+#include "attr/message.h"
+#include "attr/subscription.h"
+
+namespace bluedove {
+
+void write_message(serde::Writer& w, const Message& m) {
+  w.u64(m.id);
+  w.varint(m.values.size());
+  for (Value v : m.values) w.f64(v);
+  w.str(m.payload);
+}
+
+Message read_message(serde::Reader& r) {
+  Message m;
+  m.id = r.u64();
+  const auto n = r.varint();
+  m.values.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) m.values.push_back(r.f64());
+  m.payload = r.str();
+  return m;
+}
+
+void write_subscription(serde::Writer& w, const Subscription& s) {
+  w.u64(s.id);
+  w.u64(s.subscriber);
+  w.varint(s.ranges.size());
+  for (const Range& range : s.ranges) write_range(w, range);
+}
+
+Subscription read_subscription(serde::Reader& r) {
+  Subscription s;
+  s.id = r.u64();
+  s.subscriber = r.u64();
+  const auto n = r.varint();
+  s.ranges.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+    s.ranges.push_back(read_range(r));
+  return s;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,62 @@
+#pragma once
+// Attribute values and range predicates (paper §II-A).
+//
+// BlueDove's model: given k attributes, a message is a point in the
+// k-dimensional attribute space and a subscription is the conjunction of
+// k half-open range predicates [l, u) — i.e. a hyper-cuboid.
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/serde.h"
+
+namespace bluedove {
+
+/// Attribute values are ordered scalars. The paper's workloads (longitude,
+/// latitude, speed, timestamp, prices, ...) are all numeric; a double covers
+/// them. String attributes can be mapped onto doubles by order-preserving
+/// hashing at the client boundary.
+using Value = double;
+
+/// Half-open interval [lo, hi). An empty range has hi <= lo.
+struct Range {
+  Value lo = 0.0;
+  Value hi = 0.0;
+
+  constexpr bool contains(Value v) const { return lo <= v && v < hi; }
+  constexpr bool overlaps(const Range& o) const {
+    return lo < o.hi && o.lo < hi;
+  }
+  constexpr bool empty() const { return hi <= lo; }
+  constexpr Value width() const { return hi > lo ? hi - lo : 0.0; }
+
+  /// Intersection; empty() when disjoint.
+  constexpr Range intersect(const Range& o) const {
+    return Range{std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  /// True when this range fully contains the other.
+  constexpr bool covers(const Range& o) const {
+    return lo <= o.lo && o.hi <= hi;
+  }
+
+  friend constexpr bool operator==(const Range&, const Range&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Range& r) {
+  return os << '[' << r.lo << ',' << r.hi << ')';
+}
+
+inline void write_range(serde::Writer& w, const Range& r) {
+  w.f64(r.lo);
+  w.f64(r.hi);
+}
+
+inline Range read_range(serde::Reader& r) {
+  Range out;
+  out.lo = r.f64();
+  out.hi = r.f64();
+  return out;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,23 @@
+#include "baseline/full_replication.h"
+
+namespace bluedove {
+
+std::vector<Assignment> FullReplication::assign(const SegmentView& view,
+                                                const Subscription&) const {
+  std::vector<Assignment> out;
+  for (const auto& seg : view.segments(0)) {
+    out.push_back(Assignment{seg.owner, 0});
+  }
+  return out;
+}
+
+std::vector<Assignment> FullReplication::candidates(const SegmentView& view,
+                                                    const Message&) const {
+  std::vector<Assignment> out;
+  for (const auto& seg : view.segments(0)) {
+    out.push_back(Assignment{seg.owner, 0});
+  }
+  return out;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,23 @@
+#pragma once
+// Full-replication baseline (paper §IV-B): the strategy used by traditional
+// enterprise pub/sub clusters. Every subscription is stored on every
+// matcher (filed under dimension 0), so any matcher can match any message;
+// dispatchers spread messages across matchers at random. Adding matchers
+// divides the message rate but not the per-message matching cost, which is
+// why this baseline scales so poorly in Fig 6.
+
+#include "core/partition_strategy.h"
+
+namespace bluedove {
+
+class FullReplication final : public PartitionStrategy {
+ public:
+  const char* name() const override { return "full-replication"; }
+
+  std::vector<Assignment> assign(const SegmentView& view,
+                                 const Subscription& sub) const override;
+  std::vector<Assignment> candidates(const SegmentView& view,
+                                     const Message& msg) const override;
+};
+
+}  // namespace bluedove

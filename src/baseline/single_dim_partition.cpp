@@ -1,0 +1,24 @@
+#include "baseline/single_dim_partition.h"
+
+namespace bluedove {
+
+std::vector<Assignment> SingleDimPartition::assign(
+    const SegmentView& view, const Subscription& sub) const {
+  std::vector<Assignment> out;
+  if (dim_ >= view.dimensions()) return out;
+  for (NodeId owner : view.overlapping(dim_, sub.range(dim_))) {
+    out.push_back(Assignment{owner, dim_});
+  }
+  return out;
+}
+
+std::vector<Assignment> SingleDimPartition::candidates(
+    const SegmentView& view, const Message& msg) const {
+  std::vector<Assignment> out;
+  if (dim_ >= view.dimensions()) return out;
+  const NodeId owner = view.owner(dim_, msg.value(dim_));
+  if (owner != kInvalidNode) out.push_back(Assignment{owner, dim_});
+  return out;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,33 @@
+#pragma once
+// P2P-style baseline (paper §IV-B): subscriptions are partitioned along one
+// dimension only, as DHT-based pub/sub systems such as PastryStrings and
+// Sub-2-Sub do. A subscription is stored on every matcher whose segment on
+// the chosen dimension overlaps its predicate there; a message has exactly
+// ONE candidate matcher (the owner of the segment containing its value on
+// that dimension), so no forwarding choice exists and skew cannot be
+// avoided. The paper's comparison gives this baseline the same one-hop
+// gossip overlay as BlueDove, which this implementation shares by
+// construction (same MatcherNode / DispatcherNode / Gossiper).
+
+#include "core/partition_strategy.h"
+
+namespace bluedove {
+
+class SingleDimPartition final : public PartitionStrategy {
+ public:
+  explicit SingleDimPartition(DimId dim = 0) : dim_(dim) {}
+
+  const char* name() const override { return "p2p-single-dim"; }
+
+  std::vector<Assignment> assign(const SegmentView& view,
+                                 const Subscription& sub) const override;
+  std::vector<Assignment> candidates(const SegmentView& view,
+                                     const Message& msg) const override;
+
+  DimId dim() const { return dim_; }
+
+ private:
+  DimId dim_;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,101 @@
+#pragma once
+// Thread-safe bounded MPMC queue used by the SEDA runtime and the threaded
+// transport. Blocking push/pop with shutdown support; simple mutex+condvar
+// implementation (the per-node message rates in the in-process runtime do
+// not justify a lock-free design, and correctness is easier to audit).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace bluedove {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until space is available or the queue is closed.
+  /// Returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bluedove

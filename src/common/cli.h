@@ -1,0 +1,40 @@
+#pragma once
+// Minimal --key=value / --flag command-line parser for the tools and the
+// experiment CLI. No external dependencies; unknown keys are collected so
+// callers can reject typos.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bluedove {
+
+class CliArgs {
+ public:
+  /// Parses argv. Accepts "--key=value", "--key value" and bare "--flag"
+  /// (value "true"); everything not starting with "--" becomes a
+  /// positional argument.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys the caller never consumed (call after all get()s to reject typos).
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+namespace bluedove {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      tag = "INFO";
+      break;
+    case LogLevel::kWarn:
+      tag = "WARN";
+      break;
+    case LogLevel::kError:
+      tag = "ERROR";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  std::lock_guard lock(mu_);
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace bluedove

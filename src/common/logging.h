@@ -1,0 +1,54 @@
+#pragma once
+// Tiny leveled logger. Default level is kWarn so tests and benches stay
+// quiet; experiments flip to kInfo for progress lines. Thread-safe.
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bluedove {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string format_log(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+#define BD_LOG(level, ...)                                                  \
+  do {                                                                      \
+    if (::bluedove::Logger::instance().enabled(level)) {                    \
+      ::bluedove::Logger::instance().write(                                 \
+          level, ::bluedove::detail::format_log(__VA_ARGS__));              \
+    }                                                                       \
+  } while (0)
+
+#define BD_DEBUG(...) BD_LOG(::bluedove::LogLevel::kDebug, __VA_ARGS__)
+#define BD_INFO(...) BD_LOG(::bluedove::LogLevel::kInfo, __VA_ARGS__)
+#define BD_WARN(...) BD_LOG(::bluedove::LogLevel::kWarn, __VA_ARGS__)
+#define BD_ERROR(...) BD_LOG(::bluedove::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace bluedove

@@ -1,0 +1,157 @@
+#pragma once
+// Minimal binary serialization.
+//
+// The cluster is in-process, so serialization is not needed for transport
+// correctness; it exists so the overhead experiments can account for the
+// bytes each protocol message would occupy on the wire (the paper reports
+// gossip traffic of ~2.9 KB/s per matcher, 60N-byte segment-table pulls and
+// 64-byte load updates), and so state handover is testable as a byte stream.
+//
+// Encoding: little-endian fixed-width integers/doubles, varint for sizes.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bluedove::serde {
+
+class Writer {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void str(const std::string& s) {
+    varint(s.size());
+    raw(s.data(), s.size());
+  }
+
+  template <typename T, typename Fn>
+  void seq(const std::vector<T>& items, Fn&& write_one) {
+    varint(items.size());
+    for (const auto& item : items) write_one(*this, item);
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader returns std::nullopt-style failure via ok(); reads past the end
+/// yield zeroes and mark the stream bad (callers check ok() once at the end).
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift >= 64) {
+        ok_ = false;
+        break;
+      }
+    }
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = varint();
+    if (n > size_ - pos_) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> seq(Fn&& read_one) {
+    const std::uint64_t n = varint();
+    std::vector<T> items;
+    if (!ok_) return items;
+    // A corrupt length should not trigger a huge allocation.
+    if (n > size_ - pos_) {
+      ok_ = false;
+      return items;
+    }
+    items.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && ok_; ++i) items.push_back(read_one(*this));
+    return items;
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (n > size_ - pos_) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace bluedove::serde

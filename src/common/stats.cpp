@@ -1,0 +1,129 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bluedove {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stdev() const { return std::sqrt(variance()); }
+
+double OnlineStats::normalized_stdev() const {
+  return mean() != 0.0 ? stdev() / mean() : 0.0;
+}
+
+QuantileReservoir::QuantileReservoir(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  sample_.reserve(capacity_);
+}
+
+void QuantileReservoir::add(double x) {
+  ++n_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Vitter's algorithm R.
+  lcg_ = lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const std::uint64_t slot = (lcg_ >> 16) % n_;
+  if (slot < capacity_) sample_[slot] = x;
+}
+
+void QuantileReservoir::reset() {
+  n_ = 0;
+  sample_.clear();
+}
+
+double QuantileReservoir::quantile(double q) const {
+  if (sample_.empty()) return 0.0;
+  scratch_ = sample_;
+  std::sort(scratch_.begin(), scratch_.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(scratch_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, scratch_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::add(double x) {
+  double idx = (x - lo_) / width_;
+  std::size_t b = 0;
+  if (idx >= static_cast<double>(counts_.size())) {
+    b = counts_.size() - 1;
+  } else if (idx > 0.0) {
+    b = static_cast<std::size_t>(idx);
+  }
+  ++counts_[b];
+  ++total_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double linear_regression_slope(const std::vector<double>& xs,
+                               const std::vector<double>& ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (xs[i] - mx) * (ys[i] - my);
+    den += (xs[i] - mx) * (xs[i] - mx);
+  }
+  return den != 0.0 ? num / den : 0.0;
+}
+
+}  // namespace bluedove

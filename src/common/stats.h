@@ -1,0 +1,83 @@
+#pragma once
+// Streaming statistics helpers used by the metrics subsystem and benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bluedove {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stdev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  /// Coefficient of variation (stdev / mean), the "normalized standard
+  /// deviation" the paper reports for Fig 8. Zero when the mean is zero.
+  double normalized_stdev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bounded-memory quantile estimator: keeps a uniform reservoir sample.
+/// Deterministic given the insertion order (uses an internal LCG).
+class QuantileReservoir {
+ public:
+  explicit QuantileReservoir(std::size_t capacity = 4096);
+
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  /// q in [0, 1]; e.g. quantile(0.5) is the median. Returns 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t n_ = 0;
+  std::uint64_t lcg_ = 0x853c49e6748fea9bULL;
+  std::vector<double> sample_;
+  mutable std::vector<double> scratch_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bucket. Used for response-time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  void reset();
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Least-squares slope of y over x; used by the saturation detector to test
+/// whether response time grows linearly with time (the paper's criterion).
+double linear_regression_slope(const std::vector<double>& xs,
+                               const std::vector<double>& ys);
+
+}  // namespace bluedove

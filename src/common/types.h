@@ -1,0 +1,32 @@
+#pragma once
+// Fundamental identifier and time types shared by every BlueDove subsystem.
+
+#include <cstdint>
+#include <limits>
+
+namespace bluedove {
+
+/// Identifies a server (dispatcher or matcher) in the cluster.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifies a subscription registered with the service.
+using SubscriptionId = std::uint64_t;
+
+/// Identifies a subscriber endpoint (the delivery target of a subscription).
+using SubscriberId = std::uint64_t;
+
+/// Identifies a published message.
+using MessageId = std::uint64_t;
+
+/// Simulated or wall-clock time, in seconds. A double keeps the simulator,
+/// the threaded runtime and the metrics code on one time axis.
+using Timestamp = double;
+
+/// Dimension (attribute) index inside a schema; schemas are small (k <= 16).
+using DimId = std::uint16_t;
+
+/// Monotonic version number used by the gossip subsystem.
+using Version = std::uint64_t;
+
+}  // namespace bluedove

@@ -1,0 +1,73 @@
+#include "core/dimension_selector.h"
+
+#include <algorithm>
+
+namespace bluedove {
+
+namespace {
+/// A predicate covering at least this fraction of the domain counts as
+/// "don't care".
+constexpr double kDontCareFraction = 0.98;
+}  // namespace
+
+DimensionSelector::DimensionSelector(AttributeSchema schema)
+    : schema_(std::move(schema)), dims_(schema_.dimensions()) {}
+
+void DimensionSelector::observe(const Subscription& sub) {
+  if (sub.ranges.size() != dims_.size()) return;
+  ++observed_;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const Range domain = schema_.domain(static_cast<DimId>(d));
+    const Range clipped = sub.ranges[d].intersect(domain);
+    const double domain_width = std::max(domain.width(), 1e-12);
+    const double frac = clipped.width() / domain_width;
+    if (frac >= kDontCareFraction) continue;  // unrestricting predicate
+    PerDim& pd = dims_[d];
+    ++pd.restricting;
+    pd.width_frac.add(frac);
+    pd.centers.add(0.5 * (clipped.lo + clipped.hi));
+  }
+}
+
+std::vector<DimensionStats> DimensionSelector::stats() const {
+  std::vector<DimensionStats> out;
+  out.reserve(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const PerDim& pd = dims_[d];
+    DimensionStats s;
+    s.dim = static_cast<DimId>(d);
+    s.observed = observed_;
+    if (observed_ > 0) {
+      s.usage = static_cast<double>(pd.restricting) /
+                static_cast<double>(observed_);
+    }
+    s.mean_width_frac = pd.width_frac.mean();
+    const double domain_width =
+        std::max(schema_.domain(static_cast<DimId>(d)).width(), 1e-12);
+    s.center_spread = pd.centers.stdev() / domain_width;
+    const double selectivity =
+        pd.restricting > 0 ? 1.0 - s.mean_width_frac : 0.0;
+    // A uniform centre distribution has stdev ~0.29 x domain; normalize so
+    // "well spread" saturates at 1 and piled-up centres score low (floor at
+    // 0.05 so selectivity alone cannot be zeroed out entirely).
+    const double spread = std::clamp(s.center_spread / 0.29, 0.05, 1.0);
+    s.score = s.usage * selectivity * spread;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<DimId> DimensionSelector::select(std::size_t k) const {
+  k = std::min(k, dims_.size());
+  std::vector<DimensionStats> ranked = stats();
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const DimensionStats& a, const DimensionStats& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<DimId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(ranked[i].dim);
+  return out;
+}
+
+}  // namespace bluedove

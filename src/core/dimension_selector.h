@@ -1,0 +1,70 @@
+#pragma once
+// Searchable-dimension selection (paper §VI future work).
+//
+// "When there are large numbers of attributes, using all these dimensions
+// in mPartition can incur significant overhead. Since it is likely that
+// only a small number of attributes are commonly used in subscriptions, we
+// want to study how to identify these attributes and adjust the
+// partitioning accordingly."
+//
+// The selector observes registered subscriptions and scores each attribute
+// by how *useful* it is as a partitioning dimension:
+//   usage       — fraction of subscriptions whose predicate actually
+//                 restricts the attribute (a full-domain range is "don't
+//                 care", contributing nothing to partitioning);
+//   selectivity — how narrow the restricting predicates are, on average;
+//   spread      — how diverse the predicate centres are (predicates piled
+//                 on one spot all land on the same matcher, so diversity
+//                 matters as much as narrowness).
+// score = usage * selectivity * spread; select(k) returns the k best
+// dimensions, which plugs directly into MPartition::Options::searchable_dims
+// via a schema permutation.
+
+#include <vector>
+
+#include "attr/schema.h"
+#include "attr/subscription.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+struct DimensionStats {
+  DimId dim = 0;
+  std::uint64_t observed = 0;    ///< subscriptions seen
+  double usage = 0.0;            ///< fraction with a restricting predicate
+  double mean_width_frac = 0.0;  ///< mean predicate width / domain width
+  double center_spread = 0.0;    ///< stdev of centres / domain width
+  double score = 0.0;
+};
+
+class DimensionSelector {
+ public:
+  explicit DimensionSelector(AttributeSchema schema);
+
+  /// Accounts one subscription (call for every registration).
+  void observe(const Subscription& sub);
+
+  std::uint64_t observed() const { return observed_; }
+
+  /// Per-dimension statistics, in schema order.
+  std::vector<DimensionStats> stats() const;
+
+  /// The k highest-scoring dimensions (schema indexes), best first.
+  /// k is clamped to the schema size; with no observations the first k
+  /// schema dimensions are returned.
+  std::vector<DimId> select(std::size_t k) const;
+
+ private:
+  struct PerDim {
+    std::uint64_t restricting = 0;
+    OnlineStats width_frac;
+    OnlineStats centers;
+  };
+
+  AttributeSchema schema_;
+  std::vector<PerDim> dims_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,262 @@
+#include "core/forwarding_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bluedove {
+
+void LoadView::apply(NodeId matcher, const LoadReport& report) {
+  MatcherLoad& state = matchers_[matcher];
+  state.cores = std::max<std::uint32_t>(report.cores, 1);
+  state.utilization = report.utilization;
+  state.reported_at = report.measured_at;
+  if (state.dims.size() < report.dims.size()) {
+    state.dims.resize(report.dims.size());
+  }
+  for (std::size_t d = 0; d < report.dims.size(); ++d) {
+    state.dims[d].load = report.dims[d];
+    state.dims[d].reported_at = report.measured_at;
+    state.dims[d].known = true;
+  }
+}
+
+const LoadView::MatcherLoad* LoadView::matcher(NodeId matcher) const {
+  auto it = matchers_.find(matcher);
+  return it == matchers_.end() ? nullptr : &it->second;
+}
+
+const LoadView::Entry* LoadView::get(NodeId matcher, DimId dim) const {
+  auto it = matchers_.find(matcher);
+  if (it == matchers_.end() || dim >= it->second.dims.size()) return nullptr;
+  const Entry& entry = it->second.dims[dim];
+  return entry.known ? &entry : nullptr;
+}
+
+void LoadView::forget(NodeId matcher) { matchers_.erase(matcher); }
+
+LoadView::Totals LoadView::totals() const {
+  Totals totals;
+  for (const auto& [id, state] : matchers_) {
+    for (const Entry& entry : state.dims) {
+      if (!entry.known) continue;
+      totals.queue_len += entry.load.queue_len;
+      totals.arrival_rate += entry.load.arrival_rate;
+      totals.matching_rate += entry.load.matching_rate;
+    }
+  }
+  return totals;
+}
+
+// ---------------------------------------------------------------------------
+
+Assignment RandomPolicy::pick(std::span<const Assignment> candidates,
+                              const LoadView&, Timestamp, Rng& rng) const {
+  return candidates[static_cast<std::size_t>(
+      rng.next_below(candidates.size()))];
+}
+
+Assignment SubscriptionCountPolicy::pick(std::span<const Assignment> candidates,
+                                         const LoadView& view, Timestamp,
+                                         Rng&) const {
+  Assignment best = candidates.front();
+  std::uint64_t best_subs = std::numeric_limits<std::uint64_t>::max();
+  for (const Assignment& cand : candidates) {
+    const LoadView::Entry* entry = view.get(cand.matcher, cand.dim);
+    // A matcher that has never reported is treated as empty (attractive);
+    // its first report corrects the picture within one push interval.
+    const std::uint64_t subs = entry != nullptr ? entry->load.subscriptions : 0;
+    if (subs < best_subs) {
+      best_subs = subs;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+double AdaptivePolicy::extrapolated_queue(const LoadView::Entry& entry,
+                                          Timestamp now, bool extrapolate,
+                                          double local_sent) {
+  double q = entry.load.queue_len;
+  if (extrapolate) {
+    const double dt = std::max(now - entry.reported_at, 0.0);
+    if (local_sent >= 0.0) {
+      // Arrivals since the report are known locally (scaled to the whole
+      // dispatcher tier); only drain needs extrapolating.
+      q += local_sent - entry.load.matching_rate * dt;
+    } else {
+      q += (entry.load.arrival_rate - entry.load.matching_rate) * dt;
+    }
+  }
+  return std::max(q, 0.0);
+}
+
+double AdaptivePolicy::processing_estimate(
+    const LoadView::MatcherLoad& state, DimId dim, Timestamp now,
+    bool extrapolate, const std::vector<double>* sent_since_report,
+    double dispatcher_count) {
+  if (dim >= state.dims.size() || !state.dims[dim].known) return 0.0;
+
+  // Queue wait: all of the matcher's dimension queues compete for the same
+  // cores (§III-B1's competition effect), so the wait is the total backlog
+  // times the mean service time divided by the parallelism.
+  double q_reported = 0.0;
+  double sent_total = 0.0;
+  double throughput = 0.0;
+  double service_sum = 0.0;
+  double subs_sum = 0.0;
+  int service_n = 0;
+  Timestamp reported_at = 0.0;
+  for (std::size_t d = 0; d < state.dims.size(); ++d) {
+    const LoadView::Entry& entry = state.dims[d];
+    if (!entry.known) continue;
+    reported_at = std::max(reported_at, entry.reported_at);
+    q_reported += entry.load.queue_len;
+    throughput += entry.load.matching_rate;
+    if (sent_since_report != nullptr && d < sent_since_report->size()) {
+      sent_total += (*sent_since_report)[d] * dispatcher_count;
+    } else if (extrapolate) {
+      // No local accounting available: fall back to the paper's lambda term.
+      sent_total +=
+          entry.load.arrival_rate * std::max(now - entry.reported_at, 0.0);
+    }
+    if (entry.load.service_time > 0.0) {
+      service_sum += entry.load.service_time;
+      subs_sum += static_cast<double>(entry.load.subscriptions);
+      ++service_n;
+    }
+  }
+  const double mean_service =
+      service_n > 0 ? service_sum / static_cast<double>(service_n) : 0.0;
+  const double cores_d =
+      static_cast<double>(std::max<std::uint32_t>(1, state.cores));
+
+  const double dt = std::max(now - reported_at, 0.0);
+  double q_total = q_reported;
+  double utilization = state.utilization;
+  if (extrapolate) {
+    // Queue evolution since the report: arrivals we know about minus what
+    // the matcher can drain. Draining uses the measured service capability
+    // (cores / mean service time) — an idle matcher reports near-zero
+    // throughput but can still absorb a burst instantly, and mistaking
+    // throughput for capability makes cold matchers look congested.
+    const double drain_rate = mean_service > 0.0
+                                  ? cores_d / mean_service
+                                  : std::max(throughput, 1.0);
+    q_total = std::max(0.0, q_reported + sent_total - drain_rate * dt);
+    // Utilization added by the traffic forwarded since the report.
+    utilization = std::min(
+        1.0, utilization + sent_total * mean_service /
+                               (cores_d * std::max(dt, 0.25)));
+  }
+  // Service time for the probed dimension: the measured EWMA when there is
+  // history; otherwise scale the matcher's mean by the set-size ratio
+  // (matching cost is roughly linear in the searched set, so a cold tiny
+  // set must look cheap, not average).
+  double service = state.dims[dim].load.service_time;
+  if (service <= 0.0 && service_n > 0) {
+    const double mean_subs = subs_sum / static_cast<double>(service_n);
+    const double own_subs =
+        static_cast<double>(state.dims[dim].load.subscriptions);
+    const double ratio = mean_subs > 0.0 ? own_subs / mean_subs : 1.0;
+    service = mean_service * std::max(ratio, 0.01);
+  }
+  // Work-conserving congestion model: waiting behind a moderately busy
+  // matcher costs little capacity, so the cheap candidate should stay
+  // attractive until the matcher approaches overload — the service term is
+  // inflated by 1/(1-u) (M/M/c-style) and real backlog adds queue wait on
+  // top. This keeps routing near the work-minimizing allocation at low
+  // load while diverting from genuinely saturated matchers.
+  const double congestion = 1.0 / std::max(0.05, 1.0 - utilization);
+  return q_total * mean_service / cores_d + service * congestion;
+}
+
+namespace {
+
+Assignment pick_by_processing_time(
+    std::span<const Assignment> candidates, const LoadView& view,
+    Timestamp now, bool extrapolate,
+    const std::unordered_map<NodeId, std::vector<double>>* sent,
+    double dispatcher_count) {
+  Assignment best = candidates.front();
+  double best_est = std::numeric_limits<double>::max();
+  for (const Assignment& cand : candidates) {
+    const LoadView::MatcherLoad* state = view.matcher(cand.matcher);
+    // Unknown load: optimistic (0) so fresh matchers get traffic and start
+    // reporting.
+    double est = 0.0;
+    if (state != nullptr) {
+      const std::vector<double>* local = nullptr;
+      if (sent != nullptr) {
+        auto it = sent->find(cand.matcher);
+        if (it != sent->end()) local = &it->second;
+      }
+      est = AdaptivePolicy::processing_estimate(*state, cand.dim, now,
+                                                extrapolate, local,
+                                                dispatcher_count);
+    }
+    if (est < best_est) {
+      best_est = est;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Assignment ResponseTimePolicy::pick(std::span<const Assignment> candidates,
+                                    const LoadView& view, Timestamp now,
+                                    Rng&) const {
+  return pick_by_processing_time(candidates, view, now, /*extrapolate=*/false,
+                                 nullptr, 1.0);
+}
+
+Assignment AdaptivePolicy::pick(std::span<const Assignment> candidates,
+                                const LoadView& view, Timestamp now,
+                                Rng&) const {
+  return pick_by_processing_time(candidates, view, now, /*extrapolate=*/true,
+                                 &sent_, dispatcher_count_);
+}
+
+void AdaptivePolicy::on_forwarded(const Assignment& choice) {
+  auto& dims = sent_[choice.matcher];
+  if (dims.size() <= choice.dim) dims.resize(choice.dim + 1, 0.0);
+  dims[choice.dim] += 1.0;
+}
+
+void AdaptivePolicy::on_report(NodeId matcher) {
+  auto it = sent_.find(matcher);
+  if (it != sent_.end()) {
+    std::fill(it->second.begin(), it->second.end(), 0.0);
+  }
+}
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return "random";
+    case PolicyKind::kSubscriptionCount:
+      return "sub-count";
+    case PolicyKind::kResponseTime:
+      return "response-time";
+    case PolicyKind::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ForwardingPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>();
+    case PolicyKind::kSubscriptionCount:
+      return std::make_unique<SubscriptionCountPolicy>();
+    case PolicyKind::kResponseTime:
+      return std::make_unique<ResponseTimePolicy>();
+    case PolicyKind::kAdaptive:
+      return std::make_unique<AdaptivePolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,163 @@
+#pragma once
+// Performance-aware message forwarding (paper §III-B).
+//
+// Dispatchers keep a LoadView: the latest per-dimension load report pushed
+// by each matcher (queue length q, arrival rate lambda, matching throughput
+// mu, measured per-message service time, set size). A ForwardingPolicy
+// picks one candidate (matcher, dimension) pair for each message. The four
+// policies are the four the paper compares in Fig 7:
+//
+//   RandomPolicy            — uniform choice (baseline).
+//   SubscriptionCountPolicy — fewest subscriptions in the candidate set
+//                             (§III-B1).
+//   ResponseTimePolicy      — shortest estimated processing time using the
+//                             *last reported* queue lengths (Fig 7's
+//                             "response time based policy, without
+//                             intrapolation between updates").
+//   AdaptivePolicy          — same estimate with the queues extrapolated
+//                             forward by (lambda - mu)(t - t0)  (§III-B2,
+//                             the default).
+//
+// The processing-time estimate is queue wait plus service:
+//     est = Q_total(t) * mean_service_time / cores + service_time_dim
+// where Q_total sums the matcher's per-dimension queues — matching along
+// different dimensions competes for the same cores, the effect §III-B1
+// calls out as the subscription-count policy's blind spot.
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/partition_strategy.h"
+#include "net/protocol.h"
+
+namespace bluedove {
+
+class LoadView {
+ public:
+  struct Entry {
+    DimLoad load;
+    Timestamp reported_at = 0.0;  ///< matcher-side measurement time
+    bool known = false;
+  };
+
+  struct MatcherLoad {
+    std::vector<Entry> dims;
+    std::uint32_t cores = 1;
+    double utilization = 0.0;     ///< busy-core fraction last window
+    Timestamp reported_at = 0.0;  ///< time of the latest report
+  };
+
+  /// Applies a pushed LoadReport from `matcher`.
+  void apply(NodeId matcher, const LoadReport& report);
+
+  /// Latest per-matcher state; nullptr when never reported.
+  const MatcherLoad* matcher(NodeId matcher) const;
+
+  /// Latest entry for (matcher, dim); nullptr when never reported.
+  const Entry* get(NodeId matcher, DimId dim) const;
+
+  /// Drops all state for a matcher (it failed or left).
+  void forget(NodeId matcher);
+
+  std::size_t matcher_count() const { return matchers_.size(); }
+
+  /// Cluster-wide load totals (used by the dispatcher's auto-scaler).
+  struct Totals {
+    double queue_len = 0.0;
+    double arrival_rate = 0.0;
+    double matching_rate = 0.0;
+  };
+  Totals totals() const;
+
+ private:
+  std::unordered_map<NodeId, MatcherLoad> matchers_;
+};
+
+class ForwardingPolicy {
+ public:
+  virtual ~ForwardingPolicy() = default;
+  virtual const char* name() const = 0;
+
+  /// Picks one of `candidates` (non-empty). `now` is the dispatcher's clock.
+  virtual Assignment pick(std::span<const Assignment> candidates,
+                          const LoadView& view, Timestamp now,
+                          Rng& rng) const = 0;
+
+  /// Feedback hooks (no-ops by default). The dispatcher reports every
+  /// forward it performs and every fresh load report it receives, so
+  /// stateful policies can estimate queues *between* matcher updates.
+  virtual void on_forwarded(const Assignment& choice) { (void)choice; }
+  virtual void on_report(NodeId matcher) { (void)matcher; }
+
+  /// Number of dispatchers sharing the client traffic; stateful policies
+  /// scale their own observed sends by this to estimate total arrivals.
+  virtual void set_dispatcher_count(std::size_t count) { (void)count; }
+};
+
+class RandomPolicy final : public ForwardingPolicy {
+ public:
+  const char* name() const override { return "random"; }
+  Assignment pick(std::span<const Assignment> candidates, const LoadView& view,
+                  Timestamp now, Rng& rng) const override;
+};
+
+class SubscriptionCountPolicy final : public ForwardingPolicy {
+ public:
+  const char* name() const override { return "sub-count"; }
+  Assignment pick(std::span<const Assignment> candidates, const LoadView& view,
+                  Timestamp now, Rng& rng) const override;
+};
+
+class ResponseTimePolicy final : public ForwardingPolicy {
+ public:
+  const char* name() const override { return "response-time"; }
+  Assignment pick(std::span<const Assignment> candidates, const LoadView& view,
+                  Timestamp now, Rng& rng) const override;
+};
+
+class AdaptivePolicy final : public ForwardingPolicy {
+ public:
+  const char* name() const override { return "adaptive"; }
+  Assignment pick(std::span<const Assignment> candidates, const LoadView& view,
+                  Timestamp now, Rng& rng) const override;
+
+  void on_forwarded(const Assignment& choice) override;
+  void on_report(NodeId matcher) override;
+  void set_dispatcher_count(std::size_t count) override {
+    dispatcher_count_ = count > 0 ? static_cast<double>(count) : 1.0;
+  }
+
+  /// §III-B2 queue extrapolation, exposed for unit tests:
+  /// q_t = max(0, q_t0 + arrivals_since_t0 - mu (t - t0)). The paper
+  /// approximates arrivals_since_t0 by lambda (t - t0); the dispatcher
+  /// additionally knows exactly what it forwarded since the report, which
+  /// is the fresher signal — `local_sent` carries that count (already
+  /// scaled to the whole dispatcher tier). Without extrapolation the
+  /// reported q_t0 is used as-is (Fig 7's "response time based" policy).
+  static double extrapolated_queue(const LoadView::Entry& entry, Timestamp now,
+                                   bool extrapolate, double local_sent);
+
+  /// Full processing-time estimate for dimension `dim` of a matcher.
+  /// `sent_since_report` may be nullptr (no local accounting).
+  static double processing_estimate(const LoadView::MatcherLoad& matcher,
+                                    DimId dim, Timestamp now, bool extrapolate,
+                                    const std::vector<double>* sent_since_report,
+                                    double dispatcher_count);
+
+ private:
+  double dispatcher_count_ = 1.0;
+  /// Per (matcher, dim): messages this dispatcher forwarded since the
+  /// matcher's last load report.
+  std::unordered_map<NodeId, std::vector<double>> sent_;
+};
+
+enum class PolicyKind { kRandom, kSubscriptionCount, kResponseTime, kAdaptive };
+
+const char* to_string(PolicyKind kind);
+std::unique_ptr<ForwardingPolicy> make_policy(PolicyKind kind);
+
+}  // namespace bluedove

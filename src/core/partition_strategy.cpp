@@ -1,0 +1,83 @@
+#include "core/partition_strategy.h"
+
+#include <algorithm>
+
+namespace bluedove {
+
+std::size_t MPartition::effective_dims(const SegmentView& view) const {
+  const std::size_t k = view.dimensions();
+  if (options_.searchable_dims == 0) return k;
+  return std::min(options_.searchable_dims, k);
+}
+
+std::vector<Assignment> MPartition::assign(const SegmentView& view,
+                                           const Subscription& sub) const {
+  std::vector<Assignment> out;
+  const std::size_t k = effective_dims(view);
+
+  // Where would copies go on each dimension?
+  std::vector<std::vector<NodeId>> per_dim(k);
+  bool wide = false;
+  for (std::size_t d = 0; d < k; ++d) {
+    view.overlapping(static_cast<DimId>(d), sub.range(static_cast<DimId>(d)),
+                     per_dim[d]);
+    const std::size_t segs = view.segment_count(static_cast<DimId>(d));
+    if (options_.wide_predicate_cap < 1.0 && segs > 0 &&
+        static_cast<double>(per_dim[d].size()) >
+            options_.wide_predicate_cap * static_cast<double>(segs)) {
+      wide = true;
+    }
+  }
+
+  if (wide) {
+    // Too wide on some dimension: file into the globally replicated wide
+    // set. Every matcher searches that set for every message, so matching
+    // stays complete while the per-dimension sets stay lean.
+    for (const auto& seg : view.segments(0)) {
+      out.push_back(Assignment{seg.owner, kWideDim});
+    }
+    return out;
+  }
+
+  for (std::size_t d = 0; d < k; ++d) {
+    for (NodeId owner : per_dim[d]) {
+      out.push_back(Assignment{owner, static_cast<DimId>(d)});
+    }
+  }
+
+  // §III-A1: if all copies landed on one matcher, spread replicas to that
+  // matcher's clockwise neighbours so fault tolerance is preserved.
+  if (options_.neighbor_replication && !out.empty()) {
+    const NodeId first = out.front().matcher;
+    const bool degenerate = std::all_of(
+        out.begin(), out.end(),
+        [first](const Assignment& a) { return a.matcher == first; });
+    if (degenerate && view.matcher_count() > 1) {
+      for (std::size_t d = 1; d < k; ++d) {
+        const NodeId neighbor =
+            view.clockwise_neighbor(static_cast<DimId>(d), first);
+        if (neighbor != kInvalidNode && neighbor != first) {
+          out.push_back(Assignment{neighbor, static_cast<DimId>(d)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Assignment> MPartition::candidates(const SegmentView& view,
+                                               const Message& msg) const {
+  std::vector<Assignment> out;
+  const std::size_t k = effective_dims(view);
+  out.reserve(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    const NodeId owner =
+        view.owner(static_cast<DimId>(d), msg.value(static_cast<DimId>(d)));
+    if (owner != kInvalidNode) {
+      out.push_back(Assignment{owner, static_cast<DimId>(d)});
+    }
+  }
+  return out;
+}
+
+}  // namespace bluedove

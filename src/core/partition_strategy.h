@@ -1,0 +1,92 @@
+#pragma once
+// Subscription-space partitioning strategies.
+//
+// A strategy answers two questions for a dispatcher (paper §III):
+//   assign()     — which matchers store a copy of a subscription, and along
+//                  which dimension each copy is filed;
+//   candidates() — which matchers can each compute the *complete* match set
+//                  for a message, and which of their per-dimension sets to
+//                  search.
+//
+// MPartition is BlueDove's scheme; the baseline strategies (single-dimension
+// DHT partitioning and full replication) live in src/baseline and implement
+// the same interface so all three systems share dispatcher/matcher code.
+
+#include <vector>
+
+#include "attr/message.h"
+#include "attr/subscription.h"
+#include "common/types.h"
+#include "core/segment_view.h"
+
+namespace bluedove {
+
+/// One (matcher, dimension) pairing: a subscription copy filed under `dim`,
+/// or a candidate matcher whose `dim` set should be searched.
+struct Assignment {
+  NodeId matcher = kInvalidNode;
+  DimId dim = 0;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+/// Sentinel dimension for the "wide set": subscriptions whose predicate is
+/// too wide on some dimension are replicated to every matcher in a small
+/// set that is searched for *every* message, which keeps matching complete
+/// while keeping the per-dimension sets lean (the §VI mitigation).
+inline constexpr DimId kWideDim = 0xffff;
+
+class PartitionStrategy {
+ public:
+  virtual ~PartitionStrategy() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual std::vector<Assignment> assign(const SegmentView& view,
+                                         const Subscription& sub) const = 0;
+
+  virtual std::vector<Assignment> candidates(const SegmentView& view,
+                                             const Message& msg) const = 0;
+};
+
+/// BlueDove's multi-dimensional partitioning (paper §III-A).
+class MPartition final : public PartitionStrategy {
+ public:
+  struct Options {
+    /// Searchable dimensions; 0 means "all schema dimensions". The Fig 11a
+    /// experiment varies this from 1 to k.
+    std::size_t searchable_dims = 0;
+
+    /// §III-A1 extreme case: when every copy of a subscription lands on the
+    /// same matcher, also replicate it to that matcher's clockwise neighbour
+    /// on each dimension after the first.
+    bool neighbor_replication = true;
+
+    /// §VI mitigation for very wide predicates: when a predicate overlaps
+    /// more than this fraction of the segments on any dimension, the
+    /// subscription is filed into the globally replicated wide set
+    /// (kWideDim) instead of the per-dimension sets. Every matcher searches
+    /// its wide set for every message, so completeness holds by
+    /// construction. 1.0 disables the cap.
+    double wide_predicate_cap = 1.0;
+  };
+
+  MPartition() : MPartition(Options{}) {}
+  explicit MPartition(Options options) : options_(options) {}
+
+  const char* name() const override { return "mpartition"; }
+
+  std::vector<Assignment> assign(const SegmentView& view,
+                                 const Subscription& sub) const override;
+  std::vector<Assignment> candidates(const SegmentView& view,
+                                     const Message& msg) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::size_t effective_dims(const SegmentView& view) const;
+
+  Options options_;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,67 @@
+#include "core/segment_view.h"
+
+#include <algorithm>
+
+namespace bluedove {
+
+SegmentView SegmentView::build(const ClusterTable& table, std::size_t dims) {
+  SegmentView view;
+  view.dims_.resize(dims);
+  for (const auto& [id, entry] : table.entries()) {
+    if (!entry.alive() || entry.segments.size() < dims) continue;
+    ++view.matcher_count_;
+    for (std::size_t d = 0; d < dims; ++d) {
+      view.dims_[d].push_back(Seg{entry.segments[d], id});
+    }
+  }
+  for (auto& segs : view.dims_) {
+    std::sort(segs.begin(), segs.end(), [](const Seg& a, const Seg& b) {
+      return a.range.lo < b.range.lo;
+    });
+  }
+  return view;
+}
+
+NodeId SegmentView::owner(DimId dim, Value v) const {
+  if (dim >= dims_.size()) return kInvalidNode;
+  const auto& segs = dims_[dim];
+  // Last segment with lo <= v.
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), v,
+      [](Value value, const Seg& s) { return value < s.range.lo; });
+  if (it == segs.begin()) return kInvalidNode;
+  --it;
+  return it->range.contains(v) ? it->owner : kInvalidNode;
+}
+
+void SegmentView::overlapping(DimId dim, const Range& r,
+                              std::vector<NodeId>& out) const {
+  if (dim >= dims_.size()) return;
+  const auto& segs = dims_[dim];
+  // First segment that could overlap: the one containing r.lo, or the first
+  // starting after it.
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), r.lo,
+      [](Value value, const Seg& s) { return value < s.range.lo; });
+  if (it != segs.begin()) --it;
+  for (; it != segs.end() && it->range.lo < r.hi; ++it) {
+    if (it->range.overlaps(r)) out.push_back(it->owner);
+  }
+}
+
+std::vector<NodeId> SegmentView::overlapping(DimId dim, const Range& r) const {
+  std::vector<NodeId> out;
+  overlapping(dim, r, out);
+  return out;
+}
+
+NodeId SegmentView::clockwise_neighbor(DimId dim, NodeId of) const {
+  if (dim >= dims_.size() || dims_[dim].empty()) return kInvalidNode;
+  const auto& segs = dims_[dim];
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].owner == of) return segs[(i + 1) % segs.size()].owner;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,59 @@
+#pragma once
+// SegmentView: a routing-optimized snapshot of the cluster table.
+//
+// Dispatchers rebuild this view whenever their pulled table changes. For
+// each dimension it holds the live matchers' segments sorted by lower
+// bound, supporting O(log N) point lookup (which matcher owns value v) and
+// range lookup (which matchers' segments overlap predicate [l, u)) — the two
+// primitives mPartition needs.
+
+#include <vector>
+
+#include "attr/value.h"
+#include "common/types.h"
+#include "net/cluster_table.h"
+
+namespace bluedove {
+
+class SegmentView {
+ public:
+  SegmentView() = default;
+
+  /// Builds the view from live matchers only. `dims` is the schema's k; a
+  /// matcher whose entry has fewer segments (still joining) is skipped.
+  static SegmentView build(const ClusterTable& table, std::size_t dims);
+
+  std::size_t dimensions() const { return dims_.size(); }
+  std::size_t matcher_count() const { return matcher_count_; }
+  bool empty() const { return matcher_count_ == 0; }
+
+  /// Owner of the segment containing v on `dim`; kInvalidNode when no live
+  /// matcher covers v (e.g. the owner died).
+  NodeId owner(DimId dim, Value v) const;
+
+  /// Owners of every segment overlapping `r` on `dim`, in segment order.
+  std::vector<NodeId> overlapping(DimId dim, const Range& r) const;
+  void overlapping(DimId dim, const Range& r, std::vector<NodeId>& out) const;
+
+  /// The matcher owning the segment that follows `of`'s segment on `dim`
+  /// (wrapping around), used for the neighbour-replication rule of §III-A1.
+  NodeId clockwise_neighbor(DimId dim, NodeId of) const;
+
+  /// Number of segments on a dimension (== number of live matchers with a
+  /// segment there).
+  std::size_t segment_count(DimId dim) const {
+    return dim < dims_.size() ? dims_[dim].size() : 0;
+  }
+
+  struct Seg {
+    Range range;
+    NodeId owner;
+  };
+  const std::vector<Seg>& segments(DimId dim) const { return dims_[dim]; }
+
+ private:
+  std::vector<std::vector<Seg>> dims_;
+  std::size_t matcher_count_ = 0;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,79 @@
+#include "index/bucket_index.h"
+
+#include <algorithm>
+
+namespace bluedove {
+
+BucketIndex::BucketIndex(DimId pivot, Range domain, std::size_t buckets)
+    : pivot_(pivot),
+      domain_(domain),
+      buckets_(std::max<std::size_t>(buckets, 1)) {}
+
+std::size_t BucketIndex::bucket_of(Value v) const {
+  if (domain_.width() <= 0.0) return 0;
+  const double frac = (v - domain_.lo) / domain_.width();
+  const auto n = static_cast<double>(buckets_.size());
+  const auto idx = static_cast<long long>(frac * n);
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long long>(buckets_.size())) return buckets_.size() - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+std::pair<std::size_t, std::size_t> BucketIndex::span_of(const Range& r) const {
+  const std::size_t first = bucket_of(r.lo);
+  // hi is exclusive; nudge inside the range so an exact bucket boundary does
+  // not register the subscription one bucket too far.
+  const Value inside_hi = std::max(r.lo, r.hi - 1e-12 * std::max(1.0, r.hi));
+  const std::size_t last = bucket_of(inside_hi);
+  return {first, std::max(first, last)};
+}
+
+void BucketIndex::insert(SubPtr sub) {
+  const auto [first, last] = span_of(sub->range(pivot_));
+  for (std::size_t b = first; b <= last; ++b) buckets_[b].push_back(sub);
+  subs_.emplace(sub->id, std::move(sub));
+}
+
+bool BucketIndex::erase(SubscriptionId id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  const auto [first, last] = span_of(it->second->range(pivot_));
+  for (std::size_t b = first; b <= last; ++b) {
+    auto& bucket = buckets_[b];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i]->id == id) {
+        bucket[i] = std::move(bucket.back());
+        bucket.pop_back();
+        break;
+      }
+    }
+  }
+  subs_.erase(it);
+  return true;
+}
+
+void BucketIndex::clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  subs_.clear();
+}
+
+void BucketIndex::match(const Message& m, std::vector<SubPtr>& out,
+                        WorkCounter& wc) const {
+  ++wc.probes;
+  const auto& bucket = buckets_[bucket_of(m.value(pivot_))];
+  for (const SubPtr& sub : bucket) {
+    ++wc.comparisons;
+    if (sub->matches(m)) out.push_back(sub);
+  }
+}
+
+double BucketIndex::match_cost(const Message& m) const {
+  return 0.25 + static_cast<double>(buckets_[bucket_of(m.value(pivot_))].size());
+}
+
+void BucketIndex::for_each(
+    const std::function<void(const SubPtr&)>& fn) const {
+  for (const auto& [id, sub] : subs_) fn(sub);
+}
+
+}  // namespace bluedove

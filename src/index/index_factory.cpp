@@ -1,0 +1,33 @@
+#include "index/bucket_index.h"
+#include "index/interval_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/subscription_index.h"
+
+namespace bluedove {
+
+const char* to_string(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kLinearScan:
+      return "linear-scan";
+    case IndexKind::kBucket:
+      return "bucket";
+    case IndexKind::kIntervalTree:
+      return "interval-tree";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SubscriptionIndex> make_index(IndexKind kind, DimId pivot,
+                                              Range domain) {
+  switch (kind) {
+    case IndexKind::kLinearScan:
+      return std::make_unique<LinearScanIndex>(pivot);
+    case IndexKind::kBucket:
+      return std::make_unique<BucketIndex>(pivot, domain);
+    case IndexKind::kIntervalTree:
+      return std::make_unique<IntervalTreeIndex>(pivot, domain);
+  }
+  return nullptr;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,32 @@
+#include "metrics/load_monitor.h"
+
+#include <algorithm>
+
+namespace bluedove {
+
+void LoadMonitor::sample(NodeId node, Timestamp now,
+                         double cumulative_busy_seconds, int cores) {
+  Entry& entry = entries_[node];
+  if (entry.primed && now > entry.last_time && cores > 0) {
+    const double dt = now - entry.last_time;
+    const double busy = cumulative_busy_seconds - entry.last_busy;
+    entry.load = std::clamp(busy / (dt * static_cast<double>(cores)), 0.0,
+                            1.0);
+  }
+  entry.last_time = now;
+  entry.last_busy = cumulative_busy_seconds;
+  entry.primed = true;
+}
+
+double LoadMonitor::load(NodeId node) const {
+  auto it = entries_.find(node);
+  return it == entries_.end() ? 0.0 : it->second.load;
+}
+
+OnlineStats LoadMonitor::distribution(const std::vector<NodeId>& nodes) const {
+  OnlineStats stats;
+  for (NodeId node : nodes) stats.add(load(node));
+  return stats;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,38 @@
+#pragma once
+// Per-node CPU-load monitoring, the sim-side analogue of the paper's
+// /proc/loadavg sampling for Fig 8. The caller feeds cumulative
+// busy-seconds samples (from SimCluster::busy_seconds or real rusage); the
+// monitor differentiates them into interval loads (busy fraction per core).
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+class LoadMonitor {
+ public:
+  /// Feeds a cumulative sample for one node at time `now`.
+  void sample(NodeId node, Timestamp now, double cumulative_busy_seconds,
+              int cores);
+
+  /// Load over the most recent sampling interval, in [0, 1]; 0 if unknown.
+  double load(NodeId node) const;
+
+  /// Distribution of the latest loads across a node set; the paper reports
+  /// its normalized standard deviation (0.14 BlueDove vs 0.82 P2P).
+  OnlineStats distribution(const std::vector<NodeId>& nodes) const;
+
+ private:
+  struct Entry {
+    Timestamp last_time = 0.0;
+    double last_busy = 0.0;
+    double load = 0.0;
+    bool primed = false;
+  };
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,28 @@
+#include "metrics/loss_tracker.h"
+
+namespace bluedove {
+
+LossTracker::LossTracker(double bucket_width)
+    : bucket_width_(bucket_width > 0 ? bucket_width : 1.0) {}
+
+LossTracker::Bucket& LossTracker::bucket_at(Timestamp now) {
+  const double start =
+      bucket_width_ *
+      static_cast<double>(static_cast<long long>(now / bucket_width_));
+  if (buckets_.empty() || buckets_.back().start < start) {
+    buckets_.push_back(Bucket{start, 0, 0});
+  }
+  return buckets_.back();
+}
+
+void LossTracker::on_published(Timestamp now) {
+  ++published_;
+  ++bucket_at(now).published;
+}
+
+void LossTracker::on_completed(Timestamp now) {
+  ++completed_;
+  ++bucket_at(now).completed;
+}
+
+}  // namespace bluedove

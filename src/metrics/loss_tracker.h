@@ -1,0 +1,47 @@
+#pragma once
+// Message-loss accounting for the fault-tolerance experiment (Fig 10):
+// published vs completed messages per time bucket. A message forwarded to a
+// matcher that died before the dispatcher learned of the failure never
+// completes; within a bucket that is visible as completed < published.
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace bluedove {
+
+class LossTracker {
+ public:
+  explicit LossTracker(double bucket_width = 5.0);
+
+  void on_published(Timestamp now);
+  void on_completed(Timestamp now);
+
+  struct Bucket {
+    Timestamp start = 0.0;
+    std::uint64_t published = 0;
+    std::uint64_t completed = 0;
+
+    double loss_rate() const {
+      if (published == 0) return 0.0;
+      const double lost = published >= completed
+                              ? static_cast<double>(published - completed)
+                              : 0.0;
+      return lost / static_cast<double>(published);
+    }
+  };
+
+  const std::vector<Bucket>& series() const { return buckets_; }
+  std::uint64_t published_total() const { return published_; }
+  std::uint64_t completed_total() const { return completed_; }
+
+ private:
+  Bucket& bucket_at(Timestamp now);
+
+  double bucket_width_;
+  std::uint64_t published_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,47 @@
+#pragma once
+// Response-time accounting. The paper's response time is the duration from
+// a message's arrival at a dispatcher to its return to interested
+// subscribers; the tracker ingests one sample per matched message and keeps
+// both whole-run statistics and a time-bucketed series (for the
+// response-time-over-time plots of Figs 5, 9 and 10).
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+class ResponseTracker {
+ public:
+  explicit ResponseTracker(double bucket_width = 5.0);
+
+  /// Records one completed message: completion time `now`, latency `rt`.
+  void add(Timestamp now, double rt);
+
+  std::uint64_t count() const { return count_; }
+  const OnlineStats& overall() const { return overall_; }
+  double quantile(double q) const { return reservoir_.quantile(q); }
+
+  struct Bucket {
+    Timestamp start = 0.0;
+    OnlineStats stats;
+  };
+  const std::vector<Bucket>& series() const { return buckets_; }
+
+  /// Statistics accumulated since the previous window() call (for ladder
+  /// probes that inspect each rate step separately).
+  OnlineStats window();
+
+  void reset();
+
+ private:
+  double bucket_width_;
+  std::uint64_t count_ = 0;
+  OnlineStats overall_;
+  OnlineStats window_;
+  QuantileReservoir reservoir_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,99 @@
+#pragma once
+// Cluster membership and segment-ownership state.
+//
+// This is the "global view of the contact and segmentation information of
+// all matchers" from paper §III-C: one entry per matcher with its liveness
+// and the segment it owns on each dimension. Matchers keep it consistent by
+// gossiping; dispatchers pull it periodically.
+//
+// Versioning follows Cassandra's scheme: each entry carries a (generation,
+// version) pair. Generation increases when a node restarts; version
+// increases on every local change (heartbeat tick, segment change, status
+// change). merge() keeps the entry with the larger (generation, version).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "attr/value.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+enum class NodeStatus : std::uint8_t {
+  kAlive = 0,
+  kLeaving = 1,  ///< announced intent to leave; handover in progress
+  kLeft = 2,     ///< cleanly departed
+  kDead = 3,     ///< declared failed by a peer's failure detector
+};
+
+const char* to_string(NodeStatus status);
+
+struct MatcherState {
+  NodeId id = kInvalidNode;
+  std::uint64_t generation = 0;
+  Version version = 0;
+  NodeStatus status = NodeStatus::kAlive;
+  std::vector<Range> segments;  ///< owned segment per dimension
+
+  /// True when this entry should supersede `other` for the same node.
+  bool newer_than(const MatcherState& other) const {
+    if (generation != other.generation) return generation > other.generation;
+    return version > other.version;
+  }
+
+  bool alive() const { return status == NodeStatus::kAlive; }
+};
+
+void write_matcher_state(serde::Writer& w, const MatcherState& s);
+MatcherState read_matcher_state(serde::Reader& r);
+
+/// Compact (id, generation, version) summary used in gossip SYN messages.
+struct StateDigest {
+  NodeId id = kInvalidNode;
+  std::uint64_t generation = 0;
+  Version version = 0;
+};
+
+void write_digest(serde::Writer& w, const StateDigest& d);
+StateDigest read_digest(serde::Reader& r);
+
+class ClusterTable {
+ public:
+  /// Inserts or supersedes an entry; returns true when the table changed.
+  bool merge(const MatcherState& entry);
+
+  /// Merges every entry of another table; returns number of entries updated.
+  std::size_t merge(const ClusterTable& other);
+
+  const MatcherState* find(NodeId id) const;
+  MatcherState* find_mutable(NodeId id);
+
+  bool contains(NodeId id) const { return entries_.count(id) != 0; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::map<NodeId, MatcherState>& entries() const { return entries_; }
+
+  std::vector<StateDigest> digests() const;
+
+  /// Live matchers (status kAlive), in id order.
+  std::vector<NodeId> live_matchers() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::map<NodeId, MatcherState> entries_;
+};
+
+void write_cluster_table(serde::Writer& w, const ClusterTable& t);
+ClusterTable read_cluster_table(serde::Reader& r);
+
+/// Builds the bootstrap table for a fresh cluster: `matcher_ids.size()`
+/// matchers, each dimension of `domains` split into equal contiguous
+/// segments, matcher j owning segment j of every dimension (paper Fig 2).
+ClusterTable bootstrap_table(const std::vector<NodeId>& matcher_ids,
+                             const std::vector<Range>& domains);
+
+}  // namespace bluedove

@@ -1,0 +1,208 @@
+#pragma once
+// The complete BlueDove wire protocol.
+//
+// Every inter-node interaction in the system — client traffic, dispatch,
+// matching, gossip, load reporting, elasticity handover — is one of these
+// message structs carried in an Envelope. The transports move Envelopes
+// by value (the cluster is in-process); wire_size() reports what each
+// message would cost on a real network so the overhead experiments can
+// account bytes the way the paper does.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "attr/message.h"
+#include "attr/subscription.h"
+#include "common/serde.h"
+#include "common/types.h"
+#include "net/cluster_table.h"
+
+namespace bluedove {
+
+// --------------------------------------------------------------------------
+// Client <-> dispatcher
+// --------------------------------------------------------------------------
+
+struct ClientSubscribe {
+  Subscription sub;
+};
+
+struct ClientUnsubscribe {
+  Subscription sub;  ///< full subscription so the copies can be located
+};
+
+struct ClientPublish {
+  Message msg;
+};
+
+// --------------------------------------------------------------------------
+// Dispatcher -> matcher
+// --------------------------------------------------------------------------
+
+/// Store one copy of a subscription, assigned along dimension `dim`
+/// (mPartition sends the *whole* subscription with the dimension tag).
+struct StoreSubscription {
+  Subscription sub;
+  DimId dim = 0;
+};
+
+struct RemoveSubscription {
+  SubscriptionId id = 0;
+  DimId dim = 0;
+};
+
+/// Forward a publication to the chosen candidate matcher; the dispatcher
+/// marks the dimension whose subscription set should be searched.
+struct MatchRequest {
+  Message msg;
+  DimId dim = 0;
+  Timestamp dispatched_at = 0.0;  ///< when the dispatcher accepted the message
+  /// When valid, the matcher acknowledges completion to this dispatcher
+  /// (reliable-delivery mode, the §VI message-persistence extension).
+  NodeId reply_to = kInvalidNode;
+};
+
+/// Matcher -> dispatcher: matching for `msg_id` completed (reliable mode).
+struct MatchAck {
+  MessageId msg_id = 0;
+};
+
+// --------------------------------------------------------------------------
+// Matcher -> subscriber / metrics sink
+// --------------------------------------------------------------------------
+
+/// Notification of one matching subscription (full-matching mode).
+struct Delivery {
+  MessageId msg_id = 0;
+  SubscriptionId sub_id = 0;
+  SubscriberId subscriber = 0;
+  Timestamp dispatched_at = 0.0;
+  std::vector<Value> values;  ///< the message's attribute coordinates
+  std::string payload;
+};
+
+/// Emitted once per matched message; carries what the metrics layer needs.
+struct MatchCompleted {
+  MessageId msg_id = 0;
+  NodeId matcher = kInvalidNode;
+  DimId dim = 0;
+  Timestamp dispatched_at = 0.0;
+  std::uint32_t match_count = 0;
+  double work_units = 0.0;
+};
+
+// --------------------------------------------------------------------------
+// Matcher -> dispatcher: load feedback (paper §III-B2)
+// --------------------------------------------------------------------------
+
+/// Per-dimension load snapshot: queue length q, arrival rate lambda,
+/// matching throughput mu over the last window, the measured per-message
+/// service time (the capability behind the paper's "matching rate"), and
+/// the set size.
+struct DimLoad {
+  double queue_len = 0.0;
+  double arrival_rate = 0.0;   ///< lambda, msgs/sec completed arrivals
+  double matching_rate = 0.0;  ///< mu, msgs/sec actually matched (throughput)
+  double service_time = 0.0;   ///< EWMA seconds per message; 0 = no history
+  std::uint64_t subscriptions = 0;
+};
+
+struct LoadReport {
+  std::vector<DimLoad> dims;
+  std::uint32_t cores = 1;  ///< service parallelism of the reporting matcher
+  /// Fraction of core time spent matching during the report window (0..1).
+  double utilization = 0.0;
+  Timestamp measured_at = 0.0;
+};
+
+// --------------------------------------------------------------------------
+// Dispatcher <-> matcher: table pull
+// --------------------------------------------------------------------------
+
+struct TablePullReq {};
+
+struct TablePullResp {
+  ClusterTable table;
+};
+
+// --------------------------------------------------------------------------
+// Gossip (matcher <-> matcher), Cassandra-style three-way anti-entropy
+// --------------------------------------------------------------------------
+
+struct GossipSyn {
+  std::vector<StateDigest> digests;
+};
+
+struct GossipAck {
+  std::vector<MatcherState> deltas;  ///< entries newer on the receiver
+  std::vector<NodeId> requests;      ///< entries newer on the sender
+};
+
+struct GossipAck2 {
+  std::vector<MatcherState> deltas;
+};
+
+// --------------------------------------------------------------------------
+// Elasticity: join / leave (paper §III-C)
+// --------------------------------------------------------------------------
+
+/// A freshly booted matcher announces itself to a dispatcher.
+struct JoinRequest {};
+
+/// Dispatcher tells the most-loaded matcher on `dim` to split its segment
+/// and hand the upper half (plus covered subscriptions) to `newcomer`.
+struct SplitCommand {
+  NodeId newcomer = kInvalidNode;
+  DimId dim = 0;
+};
+
+/// Victim -> newcomer: the split result and the subscriptions whose range
+/// on `dim` overlaps the newcomer's new segment.
+struct HandoverSegment {
+  DimId dim = 0;
+  Range newcomer_segment;
+  std::vector<Subscription> subs;
+};
+
+/// Administrative request for a matcher to leave the cluster gracefully.
+struct LeaveRequest {};
+
+/// Leaving matcher -> adjacent matcher: absorb my segment on `dim`.
+struct HandoverMerge {
+  DimId dim = 0;
+  Range merged_segment;  ///< neighbour's new (extended) segment
+  std::vector<Subscription> subs;
+};
+
+// --------------------------------------------------------------------------
+// Envelope
+// --------------------------------------------------------------------------
+
+using Payload =
+    std::variant<ClientSubscribe, ClientUnsubscribe, ClientPublish,
+                 StoreSubscription, RemoveSubscription, MatchRequest, Delivery,
+                 MatchCompleted, LoadReport, TablePullReq, TablePullResp,
+                 GossipSyn, GossipAck, GossipAck2, JoinRequest, SplitCommand,
+                 HandoverSegment, LeaveRequest, HandoverMerge, MatchAck>;
+
+struct Envelope {
+  Payload payload;
+
+  template <typename T>
+  static Envelope of(T msg) {
+    return Envelope{Payload{std::move(msg)}};
+  }
+};
+
+/// Serialized size in bytes of the payload (header not counted).
+std::size_t wire_size(const Envelope& env);
+
+/// Serializes / parses an envelope; round-trips for every payload type.
+void write_envelope(serde::Writer& w, const Envelope& env);
+Envelope read_envelope(serde::Reader& r);
+
+const char* payload_name(const Envelope& env);
+
+}  // namespace bluedove

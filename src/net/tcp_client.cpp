@@ -1,0 +1,90 @@
+#include "net/tcp_client.h"
+
+namespace bluedove::net {
+
+TcpClient::TcpClient(NodeId node_id, std::uint16_t listen_port,
+                     TcpEndpoint dispatcher)
+    : dispatcher_(std::move(dispatcher)),
+      host_(node_id, listen_port,
+            std::make_unique<FunctionNode>([this](NodeId, const Envelope& env,
+                                                  Timestamp) {
+              if (const auto* d = std::get_if<Delivery>(&env.payload)) {
+                DeliveryHandler handler;
+                {
+                  std::lock_guard lock(mu_);
+                  ++deliveries_;
+                  auto it = handlers_.find(d->subscriber);
+                  if (it != handlers_.end()) handler = it->second;
+                }
+                if (handler) handler(*d);
+              } else if (std::holds_alternative<MatchCompleted>(env.payload)) {
+                std::lock_guard lock(mu_);
+                ++completions_;
+              }
+            })) {
+  host_.start();
+}
+
+TcpClient::~TcpClient() { host_.stop(); }
+
+SubscriptionId TcpClient::subscribe(std::vector<Range> predicates,
+                                    DeliveryHandler handler) {
+  Subscription sub;
+  {
+    std::lock_guard lock(mu_);
+    sub.id = next_subscription_++;
+    sub.subscriber = sub.id;
+    sub.ranges = std::move(predicates);
+    handlers_[sub.subscriber] = std::move(handler);
+    subscriptions_[sub.id] = sub;
+  }
+  if (!TcpHost::send_once(dispatcher_, Envelope::of(ClientSubscribe{sub}))) {
+    std::lock_guard lock(mu_);
+    handlers_.erase(sub.subscriber);
+    subscriptions_.erase(sub.id);
+    return 0;
+  }
+  return sub.id;
+}
+
+bool TcpClient::unsubscribe(SubscriptionId id) {
+  Subscription sub;
+  {
+    std::lock_guard lock(mu_);
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) return false;
+    sub = it->second;
+    subscriptions_.erase(it);
+    handlers_.erase(sub.subscriber);
+  }
+  return TcpHost::send_once(dispatcher_,
+                            Envelope::of(ClientUnsubscribe{std::move(sub)}));
+}
+
+MessageId TcpClient::publish(std::vector<Value> values, std::string payload) {
+  Message msg;
+  {
+    std::lock_guard lock(mu_);
+    msg.id = next_message_++;
+  }
+  const MessageId id = msg.id;
+  msg.values = std::move(values);
+  msg.payload = std::move(payload);
+  if (!TcpHost::send_once(dispatcher_,
+                          Envelope::of(ClientPublish{std::move(msg)}))) {
+    return 0;
+  }
+  return id;
+}
+
+std::uint64_t TcpClient::deliveries() const {
+  std::lock_guard lock(mu_);
+  return deliveries_;
+}
+
+std::uint64_t TcpClient::completions() const {
+  std::lock_guard lock(mu_);
+  return completions_;
+}
+
+}  // namespace bluedove::net

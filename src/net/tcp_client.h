@@ -1,0 +1,60 @@
+#pragma once
+// TcpClient: a publisher/subscriber endpoint for a TCP-deployed BlueDove
+// cluster (see tools/bluedove_noded.cpp).
+//
+// The client listens on its own port for Delivery frames — so the cluster's
+// matchers must be configured with this client's node id as their
+// delivery sink and its address in their peer directory — and sends
+// ClientSubscribe/ClientPublish frames to a dispatcher. This is the
+// "direct" delivery model of paper §II-B (subscribers that can accept
+// incoming connections); mobile-style subscribers would instead poll the
+// temporary-storage sink.
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "attr/schema.h"
+#include "net/tcp_transport.h"
+
+namespace bluedove::net {
+
+class TcpClient {
+ public:
+  using DeliveryHandler = std::function<void(const Delivery&)>;
+
+  /// `node_id` is the id matchers know this client by (their
+  /// delivery/metrics sink); `listen_port` 0 picks an ephemeral port.
+  TcpClient(NodeId node_id, std::uint16_t listen_port,
+            TcpEndpoint dispatcher);
+  ~TcpClient();
+
+  NodeId id() const { return host_.id(); }
+  std::uint16_t port() const { return host_.port(); }
+
+  /// Registers a subscription; the handler runs on the client's network
+  /// thread for every matching message. Returns 0 on send failure.
+  SubscriptionId subscribe(std::vector<Range> predicates,
+                           DeliveryHandler handler);
+
+  bool unsubscribe(SubscriptionId id);
+
+  /// Publishes a message; returns 0 on send failure.
+  MessageId publish(std::vector<Value> values, std::string payload = "");
+
+  std::uint64_t deliveries() const;
+  std::uint64_t completions() const;
+
+ private:
+  TcpEndpoint dispatcher_;
+  mutable std::mutex mu_;
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  std::unordered_map<SubscriberId, DeliveryHandler> handlers_;
+  SubscriptionId next_subscription_ = 1;
+  MessageId next_message_ = 1;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t completions_ = 0;
+  TcpHost host_;  ///< last member: its threads touch the fields above
+};
+
+}  // namespace bluedove::net

@@ -1,0 +1,337 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace bluedove::net {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, NodeId from, const Envelope& env) {
+  serde::Writer w;
+  w.u32(from);
+  write_envelope(w, env);
+  const std::uint32_t len = static_cast<std::uint32_t>(w.size());
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + w.size());
+  frame.push_back(static_cast<std::uint8_t>(len));
+  frame.push_back(static_cast<std::uint8_t>(len >> 8));
+  frame.push_back(static_cast<std::uint8_t>(len >> 16));
+  frame.push_back(static_cast<std::uint8_t>(len >> 24));
+  frame.insert(frame.end(), w.bytes().begin(), w.bytes().end());
+  return write_all(fd, frame.data(), frame.size());
+}
+
+int connect_endpoint(const TcpEndpoint& endpoint) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+constexpr std::uint32_t kMaxFrame = 64u * 1024u * 1024u;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+class TcpHost::Context final : public NodeContext {
+ public:
+  Context(TcpHost* host, std::uint64_t seed) : host_(host), rng_(seed) {}
+
+  NodeId self() const override { return host_->self_; }
+
+  Timestamp now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         host_->epoch_)
+        .count();
+  }
+
+  void send(NodeId to, Envelope env) override {
+    if (!host_->send_to(to, env)) {
+      host_->dropped_sends_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  TimerId set_timer(Timestamp delay, std::function<void()> fn) override {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(delay, 0.0)));
+    TimerId id;
+    {
+      std::lock_guard lock(host_->mu_);
+      id = host_->next_timer_++;
+      host_->timers_.emplace(deadline, std::make_pair(id, std::move(fn)));
+    }
+    host_->cv_.notify_one();
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    std::lock_guard lock(host_->mu_);
+    for (auto it = host_->timers_.begin(); it != host_->timers_.end(); ++it) {
+      if (it->second.first == id) {
+        host_->timers_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void charge(double /*work_units*/, std::function<void()> done) override {
+    // Real cycles were already spent; defer through the task queue so
+    // core-bounded callers do not recurse.
+    host_->enqueue_task(std::move(done));
+  }
+
+  Rng& rng() override { return rng_; }
+
+ private:
+  TcpHost* host_;
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// TcpHost
+// ---------------------------------------------------------------------------
+
+TcpHost::TcpHost(NodeId self, std::uint16_t listen_port,
+                 std::unique_ptr<Node> node, std::uint64_t seed)
+    : self_(self),
+      node_(std::move(node)),
+      ctx_(std::make_unique<Context>(this, seed ^ self)),
+      epoch_(std::chrono::steady_clock::now()) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  ::listen(listen_fd_, 64);
+}
+
+TcpHost::~TcpHost() { stop(); }
+
+void TcpHost::add_peer(NodeId id, TcpEndpoint endpoint) {
+  std::lock_guard lock(peers_mu_);
+  peers_[id] = std::move(endpoint);
+  auto it = peer_fds_.find(id);
+  if (it != peer_fds_.end()) {
+    ::close(it->second);
+    peer_fds_.erase(it);
+  }
+}
+
+void TcpHost::start() {
+  if (started_ || listen_fd_ < 0) return;
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  node_thread_ = std::thread([this] { node_loop(); });
+}
+
+void TcpHost::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard lock(peers_mu_);
+    for (auto& [id, fd] : peer_fds_) ::close(fd);
+    peer_fds_.clear();
+  }
+  {
+    // Reader threads block on recv of inbound connections that peers keep
+    // open; shutting those sockets down unblocks them, then join.
+    std::vector<std::thread> readers;
+    {
+      std::lock_guard lock(readers_mu_);
+      for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
+      readers.swap(reader_threads_);
+    }
+    for (std::thread& t : readers) {
+      if (t.joinable()) t.join();
+    }
+  }
+  if (node_thread_.joinable()) node_thread_.join();
+  if (node_) node_->stop();
+}
+
+void TcpHost::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed: shutting down
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard lock(readers_mu_);
+    accepted_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpHost::reader_loop(int fd) {
+  std::vector<std::uint8_t> buf;
+  while (true) {
+    std::uint8_t len_bytes[4];
+    if (!read_all(fd, len_bytes, 4)) break;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(len_bytes[0]) |
+        (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+        (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+        (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+    if (len < 4 || len > kMaxFrame) break;  // malformed frame
+    buf.resize(len);
+    if (!read_all(fd, buf.data(), len)) break;
+    serde::Reader r(buf.data(), buf.size());
+    const NodeId from = r.u32();
+    Envelope env = read_envelope(r);
+    if (!r.ok()) break;
+    enqueue_task([this, from, env = std::move(env)]() mutable {
+      node_->on_receive(from, std::move(env));
+    });
+  }
+  {
+    std::lock_guard lock(readers_mu_);
+    std::erase(accepted_fds_, fd);
+  }
+  ::close(fd);
+}
+
+void TcpHost::enqueue_task(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    tasks_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+int TcpHost::connect_peer(NodeId peer) {
+  // peers_mu_ held by caller.
+  auto fd_it = peer_fds_.find(peer);
+  if (fd_it != peer_fds_.end()) return fd_it->second;
+  auto ep_it = peers_.find(peer);
+  if (ep_it == peers_.end()) return -1;
+  const int fd = connect_endpoint(ep_it->second);
+  if (fd >= 0) peer_fds_[peer] = fd;
+  return fd;
+}
+
+bool TcpHost::send_to(NodeId peer, const Envelope& env) {
+  std::lock_guard lock(peers_mu_);
+  int fd = connect_peer(peer);
+  if (fd < 0) return false;
+  if (send_frame(fd, self_, env)) return true;
+  // Stale cached connection: drop it and retry once with a fresh one.
+  ::close(fd);
+  peer_fds_.erase(peer);
+  fd = connect_peer(peer);
+  if (fd < 0) return false;
+  if (send_frame(fd, self_, env)) return true;
+  ::close(fd);
+  peer_fds_.erase(peer);
+  return false;
+}
+
+void TcpHost::node_loop() {
+  node_->start(*ctx_);
+  std::unique_lock lock(mu_);
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    while (!timers_.empty() && timers_.begin()->first <= now) {
+      auto fn = std::move(timers_.begin()->second.second);
+      timers_.erase(timers_.begin());
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+    if (stopping_) break;
+    if (!tasks_.empty()) {
+      auto task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (timers_.empty()) {
+      cv_.wait(lock, [&] {
+        return stopping_ || !tasks_.empty() || !timers_.empty();
+      });
+    } else {
+      cv_.wait_until(lock, timers_.begin()->first);
+    }
+  }
+}
+
+bool TcpHost::send_once(const TcpEndpoint& endpoint, const Envelope& env) {
+  const int fd = connect_endpoint(endpoint);
+  if (fd < 0) return false;
+  const bool ok = send_frame(fd, kInvalidNode, env);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace bluedove::net

@@ -1,0 +1,122 @@
+#pragma once
+// TCP transport: the same Node logic over real sockets.
+//
+// A TcpHost runs ONE node (matcher or dispatcher) and gives it a
+// NodeContext whose send() ships length-prefixed serialized envelopes over
+// TCP to peer hosts — in another thread, another process, or another
+// machine. This is the deployment substrate a production BlueDove would
+// use; the simulator reproduces the paper's experiments, the thread cluster
+// backs the embedded Service, and this backs multi-process clusters (see
+// tools/bluedove_noded.cpp).
+//
+// Wire framing, per message:
+//   u32  frame length (bytes that follow, little-endian)
+//   u32  sender node id
+//   ...  serialized Envelope (net/protocol serde)
+//
+// Transport semantics match the NodeContext contract: sends are
+// asynchronous and unreliable-by-contract (a broken or unreachable peer
+// drops the message; failure detection happens at the protocol layer).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace bluedove::net {
+
+struct TcpEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class TcpHost {
+ public:
+  /// Binds the listening socket immediately (so port 0 resolves to a real
+  /// ephemeral port readable via port()); call start() to begin serving.
+  TcpHost(NodeId self, std::uint16_t listen_port, std::unique_ptr<Node> node,
+          std::uint64_t seed = 42);
+  ~TcpHost();
+
+  TcpHost(const TcpHost&) = delete;
+  TcpHost& operator=(const TcpHost&) = delete;
+
+  NodeId id() const { return self_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Registers/updates where a peer node can be reached. May be called
+  /// before or after start().
+  void add_peer(NodeId id, TcpEndpoint endpoint);
+
+  /// Starts the accept loop, the node thread, and calls Node::start.
+  void start();
+
+  /// Stops serving and joins all threads. Idempotent.
+  void stop();
+
+  Node* node() { return node_.get(); }
+  template <typename T>
+  T* node_as() {
+    return static_cast<T*>(node_.get());
+  }
+
+  std::uint64_t dropped_sends() const { return dropped_sends_.load(); }
+
+  /// One-shot client helper: connect, send one envelope (sender id
+  /// kInvalidNode), close. Returns false when the peer is unreachable.
+  static bool send_once(const TcpEndpoint& endpoint, const Envelope& env);
+
+ private:
+  class Context;
+  friend class Context;
+
+  void accept_loop();
+  void reader_loop(int fd);
+  void node_loop();
+  void enqueue_task(std::function<void()> fn);
+  bool send_to(NodeId peer, const Envelope& env);
+  int connect_peer(NodeId peer);
+
+  NodeId self_;
+  std::unique_ptr<Node> node_;
+  std::unique_ptr<Context> ctx_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex peers_mu_;
+  std::map<NodeId, TcpEndpoint> peers_;
+  std::map<NodeId, int> peer_fds_;  ///< cached outgoing connections
+
+  // Node event loop (tasks + timers), same discipline as ThreadCluster.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::multimap<std::chrono::steady_clock::time_point,
+                std::pair<TimerId, std::function<void()>>>
+      timers_;
+  TimerId next_timer_ = 1;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::thread node_thread_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> reader_threads_;
+  std::vector<int> accepted_fds_;  ///< open inbound sockets (for shutdown)
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> dropped_sends_{0};
+};
+
+}  // namespace bluedove::net

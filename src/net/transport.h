@@ -1,0 +1,84 @@
+#pragma once
+// Transport abstraction.
+//
+// Node logic (dispatchers, matchers) is written once against NodeContext and
+// runs unchanged on two substrates:
+//   * sim::SimCluster — deterministic discrete-event simulation; time is
+//     virtual and CPU cost is charged from work units (drives experiments).
+//   * runtime::ThreadCluster — one real thread per node with real queues
+//     (drives the examples and threaded integration tests).
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/protocol.h"
+
+namespace bluedove {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// Everything a node may ask of its host environment. Calls are only legal
+/// from the node's own execution context (its event handlers / timers).
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  virtual NodeId self() const = 0;
+  virtual Timestamp now() const = 0;
+
+  /// Asynchronous, unreliable, ordered-per-link message send (UDP-like with
+  /// in-order delivery, matching a datacenter LAN). Sends to dead nodes are
+  /// silently dropped — failure detection is the application's job.
+  virtual void send(NodeId to, Envelope env) = 0;
+
+  /// One-shot timer. The callback runs in this node's context after `delay`
+  /// seconds unless cancelled (or the node dies first).
+  virtual TimerId set_timer(Timestamp delay, std::function<void()> fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Occupies CPU for `work_units` of computation, then invokes `done`.
+  /// The simulator converts units to virtual seconds; the threaded runtime
+  /// has already spent the real cycles and completes immediately. Callers
+  /// bound their own concurrency (a node has a fixed number of cores).
+  virtual void charge(double work_units, std::function<void()> done) = 0;
+
+  /// Per-node deterministic random stream.
+  virtual Rng& rng() = 0;
+};
+
+/// A cluster node. Implementations must not block inside handlers.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once before any message delivery; the context outlives the node.
+  virtual void start(NodeContext& ctx) = 0;
+
+  virtual void on_receive(NodeId from, Envelope env) = 0;
+
+  /// Called when the host shuts the node down cleanly (not on crash).
+  virtual void stop() {}
+};
+
+/// Adapts a callable into a Node; used for client-side sinks (subscriber
+/// endpoints, metrics collectors) that only consume messages.
+class FunctionNode final : public Node {
+ public:
+  using Handler = std::function<void(NodeId from, const Envelope&, Timestamp now)>;
+
+  explicit FunctionNode(Handler handler) : handler_(std::move(handler)) {}
+
+  void start(NodeContext& ctx) override { ctx_ = &ctx; }
+  void on_receive(NodeId from, Envelope env) override {
+    if (handler_) handler_(from, env, ctx_ != nullptr ? ctx_->now() : 0.0);
+  }
+
+ private:
+  Handler handler_;
+  NodeContext* ctx_ = nullptr;
+};
+
+}  // namespace bluedove

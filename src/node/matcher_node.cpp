@@ -1,0 +1,448 @@
+#include "node/matcher_node.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "index/linear_scan_index.h"
+
+namespace bluedove {
+
+MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
+    : id_(id), config_(std::move(config)), gossiper_(id, config_.gossip) {
+  const std::size_t k = config_.domains.size();
+  sets_.resize(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    sets_[d].index = make_index(config_.index_kind, static_cast<DimId>(d),
+                                config_.domains[d]);
+  }
+  wide_ = std::make_unique<LinearScanIndex>(static_cast<DimId>(0));
+  joined_dims_.assign(k, false);
+  pending_segments_.assign(k, Range{});
+}
+
+void MatcherNode::set_bootstrap(ClusterTable table) {
+  bootstrap_ = std::move(table);
+  has_bootstrap_ = true;
+}
+
+void MatcherNode::start(NodeContext& ctx) {
+  ctx_ = &ctx;
+  if (has_bootstrap_) {
+    gossiper_.start(ctx, std::move(bootstrap_));
+  } else {
+    joining_ = true;
+    gossiper_.start(ctx, ClusterTable{});
+    if (!config_.dispatchers.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          ctx.rng().next_below(config_.dispatchers.size()));
+      ctx.send(config_.dispatchers[pick], Envelope::of(JoinRequest{}));
+    } else {
+      BD_WARN("matcher ", id_, " booted without bootstrap or dispatchers");
+    }
+  }
+  ctx.set_timer(config_.load_report_interval, [this] { report_load(); });
+}
+
+void MatcherNode::on_receive(NodeId from, Envelope env) {
+  if (gossiper_.handle(from, env)) return;
+  std::visit(
+      [&](auto&& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, StoreSubscription>) {
+          handle_store(msg);
+        } else if constexpr (std::is_same_v<T, RemoveSubscription>) {
+          handle_remove(msg);
+        } else if constexpr (std::is_same_v<T, MatchRequest>) {
+          handle_match_request(std::move(msg));
+        } else if constexpr (std::is_same_v<T, SplitCommand>) {
+          handle_split(from, msg);
+        } else if constexpr (std::is_same_v<T, HandoverSegment>) {
+          handle_handover_segment(msg);
+        } else if constexpr (std::is_same_v<T, LeaveRequest>) {
+          handle_leave();
+        } else if constexpr (std::is_same_v<T, HandoverMerge>) {
+          handle_handover_merge(msg);
+        } else if constexpr (std::is_same_v<T, TablePullReq>) {
+          handle_table_pull(from);
+        } else if constexpr (std::is_same_v<T, TablePullResp>) {
+          handle_table_resp(msg);
+        } else {
+          BD_DEBUG("matcher ", id_, " ignoring ", payload_name(env));
+        }
+      },
+      env.payload);
+}
+
+// --------------------------------------------------------------------------
+// Subscription storage
+// --------------------------------------------------------------------------
+
+void MatcherNode::store_one(const Subscription& sub, DimId dim) {
+  if (dim == kWideDim) {
+    if (wide_ids_.insert(sub.id).second) {
+      wide_->insert(std::make_shared<const Subscription>(sub));
+    }
+    return;
+  }
+  if (dim >= dims()) return;
+  DimSet& set = sets_[dim];
+  if (set.ids.insert(sub.id).second) {
+    set.index->insert(std::make_shared<const Subscription>(sub));
+  }
+}
+
+bool MatcherNode::remove_one(SubscriptionId id, DimId dim) {
+  if (dim == kWideDim) {
+    if (wide_ids_.erase(id) == 0) return false;
+    return wide_->erase(id);
+  }
+  if (dim >= dims()) return false;
+  DimSet& set = sets_[dim];
+  if (set.ids.erase(id) == 0) return false;
+  return set.index->erase(id);
+}
+
+void MatcherNode::handle_store(const StoreSubscription& msg) {
+  store_one(msg.sub, msg.dim);
+}
+
+void MatcherNode::handle_remove(const RemoveSubscription& msg) {
+  remove_one(msg.id, msg.dim);
+}
+
+// --------------------------------------------------------------------------
+// Matching service: per-dimension queues, `cores` concurrent services
+// --------------------------------------------------------------------------
+
+void MatcherNode::handle_match_request(MatchRequest msg) {
+  if (left_ || msg.dim >= dims()) return;
+  DimSet& set = sets_[msg.dim];
+  ++set.arrived_in_window;
+  set.queue.push_back(std::move(msg));
+  pump();
+}
+
+void MatcherNode::pump() {
+  while (busy_cores_ < config_.cores) {
+    // Round-robin over non-empty dimension queues.
+    DimSet* chosen = nullptr;
+    for (std::size_t i = 0; i < dims(); ++i) {
+      DimSet& set = sets_[(next_queue_ + i) % dims()];
+      if (!set.queue.empty()) {
+        chosen = &set;
+        next_queue_ = (next_queue_ + i + 1) % dims();
+        break;
+      }
+    }
+    if (chosen == nullptr) return;
+    MatchRequest req = std::move(chosen->queue.front());
+    chosen->queue.pop_front();
+    ++busy_cores_;
+    service(std::move(req));
+  }
+}
+
+void MatcherNode::service(MatchRequest req) {
+  DimSet& set = sets_[req.dim];
+  double work = config_.base_match_work;
+  std::uint32_t match_count = 0;
+  std::vector<SubPtr> matches;
+
+  if (config_.match_mode == MatcherConfig::MatchMode::kFull) {
+    WorkCounter wc;
+    set.index->match(req.msg, matches, wc);
+    wide_->match(req.msg, matches, wc);
+    work += wc.total();
+    match_count = static_cast<std::uint32_t>(matches.size());
+  } else {
+    work += set.index->match_cost(req.msg);
+    work += static_cast<double>(wide_->size());
+  }
+
+  const Timestamp service_start = ctx_->now();
+  ctx_->charge(work, [this, req = std::move(req), match_count, work,
+                      service_start, matches = std::move(matches)] {
+    DimSet& done_set = sets_[req.dim];
+    const double duration = ctx_->now() - service_start;
+    busy_seconds_in_window_ += duration;
+    done_set.ewma_service_time =
+        done_set.ewma_service_time <= 0.0
+            ? duration
+            : 0.8 * done_set.ewma_service_time + 0.2 * duration;
+    if (config_.match_mode == MatcherConfig::MatchMode::kFull &&
+        config_.deliver && config_.delivery_sink != kInvalidNode) {
+      for (const SubPtr& sub : matches) {
+        Delivery d;
+        d.msg_id = req.msg.id;
+        d.sub_id = sub->id;
+        d.subscriber = sub->subscriber;
+        d.dispatched_at = req.dispatched_at;
+        d.values = req.msg.values;
+        d.payload = req.msg.payload;
+        ctx_->send(config_.delivery_sink, Envelope::of(std::move(d)));
+      }
+    }
+    finish(req, match_count, work);
+  });
+}
+
+void MatcherNode::finish(const MatchRequest& req, std::uint32_t match_count,
+                         double work_units) {
+  DimSet& set = sets_[req.dim];
+  ++set.matched_in_window;
+  ++matched_total_;
+  if (req.reply_to != kInvalidNode) {
+    ctx_->send(req.reply_to, Envelope::of(MatchAck{req.msg.id}));
+  }
+  if (config_.metrics_sink != kInvalidNode) {
+    MatchCompleted done;
+    done.msg_id = req.msg.id;
+    done.matcher = id_;
+    done.dim = req.dim;
+    done.dispatched_at = req.dispatched_at;
+    done.match_count = match_count;
+    done.work_units = work_units;
+    ctx_->send(config_.metrics_sink, Envelope::of(done));
+  }
+  --busy_cores_;
+  pump();
+}
+
+// --------------------------------------------------------------------------
+// Load reporting (paper §III-B2, §IV-C overhead model)
+// --------------------------------------------------------------------------
+
+DimLoad MatcherNode::snapshot_dim(const DimSet& set) const {
+  DimLoad load;
+  load.queue_len = static_cast<double>(set.queue.size());
+  load.arrival_rate = static_cast<double>(set.arrived_in_window) /
+                      config_.load_report_interval;
+  load.matching_rate = static_cast<double>(set.matched_in_window) /
+                       config_.load_report_interval;
+  load.service_time = set.ewma_service_time;
+  load.subscriptions = set.index->size();
+  return load;
+}
+
+bool MatcherNode::changed_enough(const DimLoad& a, const DimLoad& b,
+                                 double threshold) {
+  auto rel = [threshold](double x, double y, double floor) {
+    const double base = std::max({std::fabs(x), std::fabs(y), floor});
+    return std::fabs(x - y) > threshold * base;
+  };
+  return rel(a.queue_len, b.queue_len, 4.0) ||
+         rel(a.arrival_rate, b.arrival_rate, 10.0) ||
+         rel(a.matching_rate, b.matching_rate, 10.0) ||
+         rel(static_cast<double>(a.subscriptions),
+             static_cast<double>(b.subscriptions), 4.0);
+}
+
+void MatcherNode::report_load() {
+  LoadReport report;
+  report.cores = static_cast<std::uint32_t>(config_.cores);
+  report.utilization = std::clamp(
+      busy_seconds_in_window_ /
+          (config_.load_report_interval * static_cast<double>(config_.cores)),
+      0.0, 1.0);
+  busy_seconds_in_window_ = 0.0;
+  report.measured_at = ctx_->now();
+  report.dims.reserve(dims());
+  bool push = false;
+  for (DimSet& set : sets_) {
+    DimLoad snap = snapshot_dim(set);
+    if (!set.ever_pushed ||
+        changed_enough(snap, set.last_pushed, config_.load_change_threshold)) {
+      push = true;
+    }
+    report.dims.push_back(snap);
+    set.arrived_in_window = 0;
+    set.matched_in_window = 0;
+  }
+  if (push && !left_) {
+    for (std::size_t d = 0; d < dims(); ++d) {
+      sets_[d].last_pushed = report.dims[d];
+      sets_[d].ever_pushed = true;
+    }
+    for (NodeId dispatcher : config_.dispatchers) {
+      ctx_->send(dispatcher, Envelope::of(report));
+    }
+  }
+  ctx_->set_timer(config_.load_report_interval, [this] { report_load(); });
+}
+
+// --------------------------------------------------------------------------
+// Elasticity: split on join, merge on leave (paper §III-C)
+// --------------------------------------------------------------------------
+
+Value MatcherNode::split_boundary(DimId dim, const Range& segment) const {
+  if (config_.split_policy == MatcherConfig::SplitPolicy::kMedian &&
+      sets_[dim].index->size() >= 8) {
+    // Median of the stored predicates' centres, clipped to the segment, so
+    // each half inherits about half of the matching load. Keep the cut
+    // strictly inside the segment (a degenerate sliver helps no one).
+    std::vector<Value> centers;
+    centers.reserve(sets_[dim].index->size());
+    sets_[dim].index->for_each([&](const SubPtr& sub) {
+      const Range clipped = sub->range(dim).intersect(segment);
+      if (!clipped.empty()) centers.push_back(0.5 * (clipped.lo + clipped.hi));
+    });
+    if (centers.size() >= 8) {
+      const auto mid_it = centers.begin() +
+                          static_cast<std::ptrdiff_t>(centers.size() / 2);
+      std::nth_element(centers.begin(), mid_it, centers.end());
+      const Value margin = 0.1 * segment.width();
+      return std::clamp(*mid_it, segment.lo + margin, segment.hi - margin);
+    }
+  }
+  return 0.5 * (segment.lo + segment.hi);
+}
+
+void MatcherNode::handle_split(NodeId /*from*/, const SplitCommand& msg) {
+  if (msg.dim >= dims() || msg.newcomer == kInvalidNode) return;
+  const MatcherState* mine = gossiper_.self_state();
+  if (mine == nullptr || msg.dim >= mine->segments.size()) return;
+  const Range seg = mine->segments[msg.dim];
+  const Value mid = split_boundary(msg.dim, seg);
+  const Range lower{seg.lo, mid};
+  const Range upper{mid, seg.hi};
+
+  // Subscriptions whose predicate on this dimension reaches into the upper
+  // half move (or are copied, when they straddle the midpoint).
+  HandoverSegment handover;
+  handover.dim = msg.dim;
+  handover.newcomer_segment = upper;
+  std::vector<SubscriptionId> to_remove;
+  sets_[msg.dim].index->for_each([&](const SubPtr& sub) {
+    if (sub->range(msg.dim).overlaps(upper)) handover.subs.push_back(*sub);
+    if (!sub->range(msg.dim).overlaps(lower)) to_remove.push_back(sub->id);
+  });
+  for (SubscriptionId id : to_remove) remove_one(id, msg.dim);
+
+  gossiper_.update_self([&](MatcherState& state) {
+    state.segments[msg.dim] = lower;
+  });
+  ctx_->send(msg.newcomer, Envelope::of(std::move(handover)));
+
+  // The wide set is replicated on every matcher; the dimension-0 victim
+  // seeds the newcomer's copy.
+  if (msg.dim == 0 && wide_->size() > 0) {
+    HandoverSegment wide_handover;
+    wide_handover.dim = kWideDim;
+    wide_->for_each(
+        [&](const SubPtr& sub) { wide_handover.subs.push_back(*sub); });
+    ctx_->send(msg.newcomer, Envelope::of(std::move(wide_handover)));
+  }
+}
+
+void MatcherNode::handle_handover_segment(const HandoverSegment& msg) {
+  for (const Subscription& sub : msg.subs) store_one(sub, msg.dim);
+  if (msg.dim == kWideDim || !joining_) return;
+  pending_segments_[msg.dim] = msg.newcomer_segment;
+  joined_dims_[msg.dim] = true;
+  if (std::all_of(joined_dims_.begin(), joined_dims_.end(),
+                  [](bool b) { return b; })) {
+    MatcherState state;
+    state.id = id_;
+    state.generation = 1;
+    state.version = 1;
+    state.status = NodeStatus::kAlive;
+    state.segments = pending_segments_;
+    gossiper_.install_self(std::move(state));
+    joining_ = false;
+    BD_INFO("matcher ", id_, " joined the cluster");
+  }
+}
+
+void MatcherNode::handle_leave() {
+  const MatcherState* mine = gossiper_.self_state();
+  if (mine == nullptr || left_) return;
+  gossiper_.update_self(
+      [](MatcherState& state) { state.status = NodeStatus::kLeaving; });
+
+  for (std::size_t d = 0; d < dims(); ++d) {
+    const Range seg = mine->segments[d];
+    // Adjacent live matcher: the one starting where we end, else ending
+    // where we start.
+    NodeId neighbor = kInvalidNode;
+    Range merged{};
+    constexpr double kEps = 1e-9;
+    for (const auto& [peer_id, peer] : gossiper_.table().entries()) {
+      if (peer_id == id_ || !peer.alive() || peer.segments.size() <= d)
+        continue;
+      const Range& ps = peer.segments[d];
+      if (std::fabs(ps.lo - seg.hi) < kEps) {
+        neighbor = peer_id;
+        merged = Range{seg.lo, ps.hi};
+        break;
+      }
+      if (std::fabs(ps.hi - seg.lo) < kEps && neighbor == kInvalidNode) {
+        neighbor = peer_id;
+        merged = Range{ps.lo, seg.hi};
+      }
+    }
+    if (neighbor == kInvalidNode) {
+      BD_WARN("matcher ", id_, " cannot leave: no neighbour on dim ", d);
+      continue;
+    }
+    HandoverMerge handover;
+    handover.dim = static_cast<DimId>(d);
+    handover.merged_segment = merged;
+    sets_[d].index->for_each(
+        [&](const SubPtr& sub) { handover.subs.push_back(*sub); });
+    ctx_->send(neighbor, Envelope::of(std::move(handover)));
+  }
+
+  gossiper_.update_self(
+      [](MatcherState& state) { state.status = NodeStatus::kLeft; });
+  left_ = true;
+}
+
+void MatcherNode::handle_handover_merge(const HandoverMerge& msg) {
+  if (msg.dim >= dims()) return;
+  for (const Subscription& sub : msg.subs) store_one(sub, msg.dim);
+  gossiper_.update_self([&](MatcherState& state) {
+    if (msg.dim < state.segments.size())
+      state.segments[msg.dim] = msg.merged_segment;
+  });
+}
+
+void MatcherNode::handle_table_pull(NodeId from) {
+  ctx_->send(from, Envelope::of(TablePullResp{gossiper_.table()}));
+}
+
+void MatcherNode::handle_table_resp(const TablePullResp& msg) {
+  gossiper_.merge_table(msg.table);
+}
+
+// --------------------------------------------------------------------------
+// Introspection
+// --------------------------------------------------------------------------
+
+std::size_t MatcherNode::set_size(DimId dim) const {
+  return dim < dims() ? sets_[dim].index->size() : 0;
+}
+
+std::size_t MatcherNode::queue_length(DimId dim) const {
+  return dim < dims() ? sets_[dim].queue.size() : 0;
+}
+
+std::size_t MatcherNode::total_queued() const {
+  std::size_t total = 0;
+  for (const DimSet& set : sets_) total += set.queue.size();
+  return total;
+}
+
+std::size_t MatcherNode::stored_copies() const {
+  std::size_t total = wide_ids_.size();
+  for (const DimSet& set : sets_) total += set.ids.size();
+  return total;
+}
+
+Range MatcherNode::segment(DimId dim) const {
+  const MatcherState* mine = gossiper_.self_state();
+  if (mine == nullptr || dim >= mine->segments.size()) return Range{};
+  return mine->segments[dim];
+}
+
+}  // namespace bluedove

@@ -1,0 +1,156 @@
+#pragma once
+// MatcherNode: a back-end matching server (paper §II-B, §III).
+//
+// A matcher stores the subscriptions assigned to it along each dimension in
+// k separate sets, each with its own index, plus the globally replicated
+// "wide" set. Incoming MatchRequests are queued per dimension (the paper's
+// separate queues, SEDA-style) and serviced by a fixed number of cores.
+// The matcher participates in the gossip overlay, reports per-dimension
+// load to all dispatchers, and implements the elasticity protocol (segment
+// split on join, merge on leave).
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/partition_strategy.h"
+#include "gossip/gossiper.h"
+#include "index/subscription_index.h"
+#include "net/transport.h"
+
+namespace bluedove {
+
+struct MatcherConfig {
+  /// Schema: number of dimensions and their domains (for index layout).
+  std::vector<Range> domains;
+
+  int cores = 4;  ///< paper testbed: 4-core VMs
+
+  IndexKind index_kind = IndexKind::kLinearScan;
+
+  /// kFull computes and delivers real match sets; kCostOnly skips the match
+  /// computation and charges only the modelled work, which makes saturation
+  /// probes orders of magnitude faster to simulate. Response-time metrics
+  /// are identical; only Delivery fan-out is suppressed.
+  enum class MatchMode { kFull, kCostOnly };
+  MatchMode match_mode = MatchMode::kFull;
+
+  double load_report_interval = 1.0;  ///< paper: 64B push every second...
+  double load_change_threshold = 0.10;  ///< ...if load changed more than 10%
+
+  /// Where a segment is cut when a joiner takes over half of it. The paper
+  /// splits at the midpoint ("splits half of the segment"); kMedian cuts at
+  /// the median of the stored predicate centres instead, which halves the
+  /// subscription *load* rather than the value range (ablation in
+  /// DESIGN.md).
+  enum class SplitPolicy { kMidpoint, kMedian };
+  SplitPolicy split_policy = SplitPolicy::kMidpoint;
+
+  GossipConfig gossip;
+
+  std::vector<NodeId> dispatchers;      ///< load-report / join targets
+  NodeId metrics_sink = kInvalidNode;   ///< MatchCompleted destination
+  /// Where Delivery messages go: the "temporary storage" of §II-B's
+  /// indirect delivery model (a queue node subscribers poll / a proxy that
+  /// pushes to connected subscribers).
+  NodeId delivery_sink = kInvalidNode;
+  bool deliver = true;                  ///< send Delivery messages (kFull)
+
+  /// Fixed per-message overhead in work units (parse, queue, hand-off).
+  double base_match_work = 25.0;
+};
+
+class MatcherNode final : public Node {
+ public:
+  MatcherNode(NodeId id, MatcherConfig config);
+
+  /// Pre-loads the initial cluster table (omit for a joining matcher, which
+  /// will instead send a JoinRequest to a dispatcher on start).
+  void set_bootstrap(ClusterTable table);
+
+  void start(NodeContext& ctx) override;
+  void on_receive(NodeId from, Envelope env) override;
+
+  // --- introspection (tests, harness) --------------------------------------
+  NodeId id() const { return id_; }
+  const Gossiper& gossiper() const { return gossiper_; }
+  std::size_t set_size(DimId dim) const;
+  std::size_t wide_set_size() const { return wide_ids_.size(); }
+  std::size_t queue_length(DimId dim) const;
+  std::size_t total_queued() const;
+  /// Total distinct (dim, id) copies stored.
+  std::size_t stored_copies() const;
+  std::uint64_t matched_total() const { return matched_total_; }
+  Range segment(DimId dim) const;
+
+ private:
+  struct DimSet {
+    std::unique_ptr<SubscriptionIndex> index;
+    std::unordered_set<SubscriptionId> ids;  ///< dedup guard
+    std::deque<MatchRequest> queue;
+    // Window counters for the load report (lambda / mu of the past w secs).
+    std::uint64_t arrived_in_window = 0;
+    std::uint64_t matched_in_window = 0;
+    /// EWMA of observed per-message service durations (capability signal
+    /// behind the paper's "matching rate"); 0 until the first service.
+    double ewma_service_time = 0.0;
+    // Last pushed values, for the >10% change suppression.
+    DimLoad last_pushed;
+    bool ever_pushed = false;
+  };
+
+  std::size_t dims() const { return sets_.size(); }
+
+  /// Split boundary for handle_split, per the configured SplitPolicy.
+  Value split_boundary(DimId dim, const Range& segment) const;
+
+  void handle_store(const StoreSubscription& msg);
+  void handle_remove(const RemoveSubscription& msg);
+  void handle_match_request(MatchRequest msg);
+  void handle_split(NodeId from, const SplitCommand& msg);
+  void handle_handover_segment(const HandoverSegment& msg);
+  void handle_leave();
+  void handle_handover_merge(const HandoverMerge& msg);
+  void handle_table_pull(NodeId from);
+  void handle_table_resp(const TablePullResp& msg);
+
+  /// Starts servicing queued requests while cores are free.
+  void pump();
+  void service(MatchRequest req);
+  void finish(const MatchRequest& req, std::uint32_t match_count,
+              double work_units);
+
+  void report_load();
+  DimLoad snapshot_dim(const DimSet& set) const;
+  static bool changed_enough(const DimLoad& a, const DimLoad& b,
+                             double threshold);
+
+  void store_one(const Subscription& sub, DimId dim);
+  bool remove_one(SubscriptionId id, DimId dim);
+
+  NodeId id_;
+  MatcherConfig config_;
+  NodeContext* ctx_ = nullptr;
+  Gossiper gossiper_;
+  bool has_bootstrap_ = false;
+  ClusterTable bootstrap_;
+
+  std::vector<DimSet> sets_;
+  std::unique_ptr<SubscriptionIndex> wide_;  ///< always-searched wide set
+  std::unordered_set<SubscriptionId> wide_ids_;
+
+  int busy_cores_ = 0;
+  std::size_t next_queue_ = 0;  ///< round-robin pointer across dim queues
+  std::uint64_t matched_total_ = 0;
+  double busy_seconds_in_window_ = 0.0;  ///< for the utilization report
+
+  // Joining matcher: segments received so far (one per dim required).
+  std::vector<bool> joined_dims_;
+  std::vector<Range> pending_segments_;
+  bool joining_ = false;
+  bool left_ = false;
+};
+
+}  // namespace bluedove

@@ -1,0 +1,230 @@
+#include "runtime/thread_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bluedove::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+class ThreadCluster::Context final : public NodeContext {
+ public:
+  Context(ThreadCluster* cluster, NodeId id, std::uint64_t seed)
+      : cluster_(cluster), id_(id), rng_(seed) {}
+
+  NodeId self() const override { return id_; }
+  Timestamp now() const override { return cluster_->now(); }
+  void send(NodeId to, Envelope env) override {
+    cluster_->enqueue(to, id_, std::move(env));
+  }
+  TimerId set_timer(Timestamp delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  void charge(double work_units, std::function<void()> done) override;
+  Rng& rng() override { return rng_; }
+
+ private:
+  ThreadCluster* cluster_;
+  NodeId id_;
+  Rng rng_;
+};
+
+struct ThreadCluster::NodeRuntime {
+  NodeId id = kInvalidNode;
+  std::unique_ptr<Node> node;
+  std::unique_ptr<Context> ctx;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Messages and deferred completions, FIFO.
+  std::deque<std::function<void()>> tasks;
+  /// Pending timers keyed by deadline.
+  std::multimap<Clock::time_point, std::pair<TimerId, std::function<void()>>>
+      timers;
+  std::uint64_t next_timer_id = 1;
+  bool stopping = false;
+  bool started = false;
+  std::thread thread;
+  std::size_t inbox_capacity = 65536;
+};
+
+ThreadCluster::ThreadCluster(ThreadClusterConfig config)
+    : config_(config), epoch_(Clock::now()), seed_rng_(config.seed) {}
+
+ThreadCluster::~ThreadCluster() { shutdown(); }
+
+Timestamp ThreadCluster::now() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+void ThreadCluster::add_node(NodeId id, std::unique_ptr<Node> node) {
+  auto rt = std::make_unique<NodeRuntime>();
+  rt->id = id;
+  rt->node = std::move(node);
+  rt->ctx = std::make_unique<Context>(this, id, seed_rng_.next_u64());
+  rt->inbox_capacity = config_.inbox_capacity;
+  std::lock_guard lock(nodes_mu_);
+  nodes_[id] = std::move(rt);
+}
+
+ThreadCluster::NodeRuntime* ThreadCluster::runtime(NodeId id) {
+  std::lock_guard lock(nodes_mu_);
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void ThreadCluster::start(NodeId id) {
+  NodeRuntime* rt = runtime(id);
+  if (rt == nullptr || rt->started) return;
+  rt->started = true;
+  rt->thread = std::thread([this, rt] { node_loop(*rt); });
+}
+
+void ThreadCluster::start_all() {
+  std::vector<NodeId> ids;
+  {
+    std::lock_guard lock(nodes_mu_);
+    for (const auto& [id, rt] : nodes_) ids.push_back(id);
+  }
+  for (NodeId id : ids) start(id);
+}
+
+void ThreadCluster::stop(NodeId id) {
+  NodeRuntime* rt = runtime(id);
+  if (rt == nullptr || !rt->started) return;
+  {
+    std::lock_guard lock(rt->mu);
+    if (rt->stopping) return;
+    rt->stopping = true;
+  }
+  rt->cv.notify_all();
+  if (rt->thread.joinable()) rt->thread.join();
+}
+
+void ThreadCluster::shutdown() {
+  std::vector<NodeId> ids;
+  {
+    std::lock_guard lock(nodes_mu_);
+    for (const auto& [id, rt] : nodes_) ids.push_back(id);
+  }
+  for (NodeId id : ids) stop(id);
+}
+
+bool ThreadCluster::running(NodeId id) const {
+  auto* self = const_cast<ThreadCluster*>(this);
+  NodeRuntime* rt = self->runtime(id);
+  if (rt == nullptr || !rt->started) return false;
+  std::lock_guard lock(rt->mu);
+  return !rt->stopping;
+}
+
+Node* ThreadCluster::node(NodeId id) {
+  NodeRuntime* rt = runtime(id);
+  return rt != nullptr ? rt->node.get() : nullptr;
+}
+
+void ThreadCluster::enqueue(NodeId to, NodeId from, Envelope env) {
+  NodeRuntime* rt = runtime(to);
+  if (rt == nullptr || !rt->started) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard lock(rt->mu);
+    if (rt->stopping || rt->tasks.size() >= rt->inbox_capacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    rt->tasks.push_back([rt, from, env = std::move(env)]() mutable {
+      rt->node->on_receive(from, std::move(env));
+    });
+  }
+  rt->cv.notify_one();
+}
+
+void ThreadCluster::inject(NodeId to, Envelope env) {
+  enqueue(to, kInvalidNode, std::move(env));
+}
+
+void ThreadCluster::node_loop(NodeRuntime& rt) {
+  rt.node->start(*rt.ctx);
+  std::unique_lock lock(rt.mu);
+  while (true) {
+    // Fire due timers.
+    const auto now_tp = Clock::now();
+    while (!rt.timers.empty() && rt.timers.begin()->first <= now_tp) {
+      auto fn = std::move(rt.timers.begin()->second.second);
+      rt.timers.erase(rt.timers.begin());
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+    if (rt.stopping) break;
+    if (!rt.tasks.empty()) {
+      auto task = std::move(rt.tasks.front());
+      rt.tasks.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (rt.timers.empty()) {
+      rt.cv.wait(lock,
+                 [&] { return rt.stopping || !rt.tasks.empty() ||
+                              !rt.timers.empty(); });
+    } else {
+      rt.cv.wait_until(lock, rt.timers.begin()->first);
+    }
+  }
+  lock.unlock();
+  rt.node->stop();
+}
+
+TimerId ThreadCluster::Context::set_timer(Timestamp delay,
+                                          std::function<void()> fn) {
+  NodeRuntime* rt = cluster_->runtime(id_);
+  if (rt == nullptr) return kInvalidTimer;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(std::max(delay, 0.0)));
+  TimerId id = 0;
+  {
+    std::lock_guard lock(rt->mu);
+    id = rt->next_timer_id++;
+    rt->timers.emplace(deadline, std::make_pair(id, std::move(fn)));
+  }
+  rt->cv.notify_one();
+  return id;
+}
+
+void ThreadCluster::Context::cancel_timer(TimerId id) {
+  NodeRuntime* rt = cluster_->runtime(id_);
+  if (rt == nullptr || id == kInvalidTimer) return;
+  std::lock_guard lock(rt->mu);
+  for (auto it = rt->timers.begin(); it != rt->timers.end(); ++it) {
+    if (it->second.first == id) {
+      rt->timers.erase(it);
+      return;
+    }
+  }
+}
+
+void ThreadCluster::Context::charge(double /*work_units*/,
+                                    std::function<void()> done) {
+  // On the threaded substrate the computation already ran on this node's
+  // thread; the completion is deferred through the task queue so callers
+  // that bound their in-flight work (the matcher's core accounting) do not
+  // recurse.
+  NodeRuntime* rt = cluster_->runtime(id_);
+  if (rt == nullptr) return;
+  {
+    std::lock_guard lock(rt->mu);
+    if (rt->stopping) return;
+    rt->tasks.push_back(std::move(done));
+  }
+  rt->cv.notify_one();
+}
+
+}  // namespace bluedove::runtime

@@ -1,0 +1,86 @@
+#pragma once
+// ThreadCluster: the real-time substrate. Each node runs on its own thread
+// with a SEDA-style task queue (messages, timer firings, deferred work
+// completions), so the exact same Node implementations that drive the
+// simulator also run as a live in-process cluster. This substrate backs the
+// public bluedove::Service facade and the examples; performance experiments
+// use the deterministic simulator instead.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace bluedove::runtime {
+
+struct ThreadClusterConfig {
+  std::uint64_t seed = 42;
+  /// Maximum queued tasks per node before senders start dropping (models a
+  /// bounded socket buffer; prevents unbounded memory under overload).
+  std::size_t inbox_capacity = 65536;
+};
+
+class ThreadCluster {
+ public:
+  explicit ThreadCluster(ThreadClusterConfig config = {});
+  ~ThreadCluster();
+
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+
+  /// Registers a node (cluster owns it). Must be called before start(id).
+  void add_node(NodeId id, std::unique_ptr<Node> node);
+
+  /// Spawns the node's thread and calls Node::start on it.
+  void start(NodeId id);
+  void start_all();
+
+  /// Graceful stop: drains nothing, just halts the loop and joins.
+  void stop(NodeId id);
+  /// Stops every node (also done by the destructor).
+  void shutdown();
+
+  bool running(NodeId id) const;
+
+  Node* node(NodeId id);
+  template <typename T>
+  T* node_as(NodeId id) {
+    return static_cast<T*>(node(id));
+  }
+
+  /// Seconds since cluster construction (the Timestamp axis for this
+  /// substrate).
+  Timestamp now() const;
+
+  /// Delivers a message from outside the cluster (a client).
+  void inject(NodeId to, Envelope env);
+
+  std::uint64_t dropped_messages() const { return dropped_.load(); }
+
+ private:
+  struct NodeRuntime;
+  class Context;
+
+  NodeRuntime* runtime(NodeId id);
+  void enqueue(NodeId to, NodeId from, Envelope env);
+  void node_loop(NodeRuntime& rt);
+
+  ThreadClusterConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+  Rng seed_rng_;
+  mutable std::mutex nodes_mu_;
+  std::unordered_map<NodeId, std::unique_ptr<NodeRuntime>> nodes_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace bluedove::runtime

@@ -1,0 +1,48 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bluedove::sim {
+
+EventId EventLoop::schedule_at(Timestamp at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Event{std::max(at, now_), seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id != 0 && id < next_id_) cancelled_.insert(id);
+}
+
+bool EventLoop::pop_one(Timestamp limit) {
+  while (!heap_.empty()) {
+    if (heap_.front().at > limit) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run_until(Timestamp t) {
+  while (pop_one(t)) {
+  }
+  now_ = std::max(now_, t);
+}
+
+void EventLoop::run() {
+  while (pop_one(std::numeric_limits<Timestamp>::max())) {
+  }
+}
+
+}  // namespace bluedove::sim

@@ -1,0 +1,73 @@
+#pragma once
+// Deterministic discrete-event loop: a time-ordered heap of callbacks with
+// stable FIFO tie-breaking, plus cancellation via tombstones.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bluedove::sim {
+
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  Timestamp now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(Timestamp at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds.
+  EventId schedule_after(Timestamp delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events with time <= t; leaves now() == t.
+  void run_until(Timestamp t);
+
+  /// Runs for `dt` simulated seconds.
+  void run_for(Timestamp dt) { run_until(now_ + dt); }
+
+  /// Drains the queue completely (use only when the event population is
+  /// finite, e.g. unit tests).
+  void run();
+
+  bool empty() const { return heap_.size() == cancelled_.size(); }
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Timestamp at;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    // std::push_heap builds a max-heap; invert to get earliest-first with
+    // FIFO order among equal timestamps.
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the earliest event if it is due at or before `limit`.
+  bool pop_one(Timestamp limit);
+
+  Timestamp now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace bluedove::sim

@@ -1,0 +1,212 @@
+#include "sim/sim_cluster.h"
+
+#include "common/logging.h"
+
+namespace bluedove::sim {
+
+class SimCluster::Context final : public NodeContext {
+ public:
+  Context(SimCluster* cluster, NodeId id, std::uint64_t seed)
+      : cluster_(cluster), id_(id), rng_(seed) {}
+
+  NodeId self() const override { return id_; }
+  Timestamp now() const override { return cluster_->now(); }
+
+  void send(NodeId to, Envelope env) override;
+  TimerId set_timer(Timestamp delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  void charge(double work_units, std::function<void()> done) override;
+  Rng& rng() override { return rng_; }
+
+ private:
+  SimCluster* cluster_;
+  NodeId id_;
+  Rng rng_;
+};
+
+struct SimCluster::Record {
+  std::unique_ptr<Node> node;
+  std::unique_ptr<Context> ctx;
+  int cores = 4;
+  bool alive = true;
+  bool started = false;
+  /// Bumped on kill so stale delivery / timer / charge events are dropped.
+  std::uint64_t epoch = 0;
+  double busy_seconds = 0.0;
+  TrafficStats traffic;
+};
+
+SimCluster::SimCluster(SimConfig config)
+    : config_(config), rng_(config.seed) {}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::add_node(NodeId id, std::unique_ptr<Node> node, int cores) {
+  auto rec = std::make_unique<Record>();
+  rec->node = std::move(node);
+  rec->ctx = std::make_unique<Context>(this, id, rng_.next_u64());
+  rec->cores = cores;
+  records_[id] = std::move(rec);
+}
+
+void SimCluster::start(NodeId id) {
+  Record* rec = record(id);
+  if (rec == nullptr || rec->started) return;
+  rec->started = true;
+  rec->node->start(*rec->ctx);
+}
+
+void SimCluster::start_all() {
+  for (auto& [id, rec] : records_) {
+    if (!rec->started) {
+      rec->started = true;
+      rec->node->start(*rec->ctx);
+    }
+  }
+}
+
+void SimCluster::kill(NodeId id) {
+  Record* rec = record(id);
+  if (rec == nullptr || !rec->alive) return;
+  rec->alive = false;
+  ++rec->epoch;
+}
+
+bool SimCluster::alive(NodeId id) const {
+  const Record* rec = record(id);
+  return rec != nullptr && rec->alive;
+}
+
+Node* SimCluster::node(NodeId id) {
+  Record* rec = record(id);
+  return rec != nullptr ? rec->node.get() : nullptr;
+}
+
+SimCluster::Record* SimCluster::record(NodeId id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+const SimCluster::Record* SimCluster::record(NodeId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+double SimCluster::hop_latency() {
+  return config_.net_latency + rng_.uniform(0.0, config_.net_jitter);
+}
+
+bool SimCluster::accounted(const Envelope& env) {
+  switch (env.payload.index()) {
+    case 8:   // LoadReport
+    case 9:   // TablePullReq
+    case 10:  // TablePullResp
+    case 11:  // GossipSyn
+    case 12:  // GossipAck
+    case 13:  // GossipAck2
+      return true;
+    default:
+      return false;
+  }
+}
+
+void SimCluster::deliver(NodeId from, NodeId to, Envelope env,
+                         std::uint64_t epoch) {
+  Record* rec = record(to);
+  if (rec == nullptr || !rec->alive || rec->epoch != epoch || !rec->started) {
+    ++dropped_messages_;
+    if (std::holds_alternative<MatchRequest>(env.payload))
+      ++lost_match_requests_;
+    return;
+  }
+  ++rec->traffic.msgs_received;
+  if (config_.account_all_traffic || accounted(env)) {
+    rec->traffic.bytes_received += wire_size(env);
+  }
+  rec->node->on_receive(from, std::move(env));
+}
+
+void SimCluster::inject(NodeId to, Envelope env) {
+  Record* rec = record(to);
+  const std::uint64_t epoch = rec != nullptr ? rec->epoch : 0;
+  loop_.schedule_after(
+      hop_latency(),
+      [this, to, epoch, env = std::move(env)]() mutable {
+        deliver(kInvalidNode, to, std::move(env), epoch);
+      });
+}
+
+const TrafficStats& SimCluster::traffic(NodeId id) const {
+  static const TrafficStats kEmpty{};
+  const Record* rec = record(id);
+  return rec != nullptr ? rec->traffic : kEmpty;
+}
+
+double SimCluster::busy_seconds(NodeId id) const {
+  const Record* rec = record(id);
+  return rec != nullptr ? rec->busy_seconds : 0.0;
+}
+
+int SimCluster::cores(NodeId id) const {
+  const Record* rec = record(id);
+  return rec != nullptr ? rec->cores : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+void SimCluster::Context::send(NodeId to, Envelope env) {
+  Record* self_rec = cluster_->record(id_);
+  if (self_rec == nullptr || !self_rec->alive) return;  // dead men send no mail
+  ++self_rec->traffic.msgs_sent;
+  if (cluster_->config_.account_all_traffic || SimCluster::accounted(env)) {
+    self_rec->traffic.bytes_sent += wire_size(env);
+  }
+  Record* target = cluster_->record(to);
+  if (target == nullptr) {
+    ++cluster_->dropped_messages_;
+    if (std::holds_alternative<MatchRequest>(env.payload))
+      ++cluster_->lost_match_requests_;
+    return;
+  }
+  const std::uint64_t epoch = target->epoch;
+  cluster_->loop_.schedule_after(
+      cluster_->hop_latency(),
+      [cluster = cluster_, from = id_, to, epoch,
+       env = std::move(env)]() mutable {
+        cluster->deliver(from, to, std::move(env), epoch);
+      });
+}
+
+TimerId SimCluster::Context::set_timer(Timestamp delay,
+                                       std::function<void()> fn) {
+  Record* rec = cluster_->record(id_);
+  if (rec == nullptr) return kInvalidTimer;
+  const std::uint64_t epoch = rec->epoch;
+  return cluster_->loop_.schedule_after(
+      delay, [cluster = cluster_, id = id_, epoch, fn = std::move(fn)] {
+        Record* r = cluster->record(id);
+        if (r != nullptr && r->alive && r->epoch == epoch) fn();
+      });
+}
+
+void SimCluster::Context::cancel_timer(TimerId id) {
+  cluster_->loop_.cancel(id);
+}
+
+void SimCluster::Context::charge(double work_units,
+                                 std::function<void()> done) {
+  Record* rec = cluster_->record(id_);
+  if (rec == nullptr || !rec->alive) return;
+  const double t = work_units * cluster_->config_.sec_per_work_unit;
+  rec->busy_seconds += t;
+  const std::uint64_t epoch = rec->epoch;
+  cluster_->loop_.schedule_after(
+      t, [cluster = cluster_, id = id_, epoch, done = std::move(done)] {
+        Record* r = cluster->record(id);
+        if (r != nullptr && r->alive && r->epoch == epoch) done();
+      });
+}
+
+}  // namespace bluedove::sim

@@ -1,0 +1,24 @@
+#include "workload/distributions.h"
+
+namespace bluedove {
+
+double CroppedNormal::sample(Rng& rng) const {
+  if (sigma_ <= 0.0) return mean_;
+  // Rejection sampling keeps the in-domain density proportional to the
+  // normal density (no boundary pile-up, unlike clamping). With sigma up to
+  // the domain width the acceptance rate stays above ~35%, but guard with a
+  // bounded retry and fall back to uniform for pathological parameters.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = mean_ + sigma_ * rng.next_gaussian();
+    if (domain_.contains(v)) return v;
+  }
+  return rng.uniform(domain_.lo, domain_.hi);
+}
+
+double hotspot_mean(Range domain, std::size_t dim, std::size_t k) {
+  const double frac =
+      static_cast<double>(dim + 1) / static_cast<double>(k + 1);
+  return domain.lo + frac * domain.width();
+}
+
+}  // namespace bluedove

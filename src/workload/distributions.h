@@ -1,0 +1,47 @@
+#pragma once
+// Value distributions for workload generation (paper §IV-B).
+//
+// Subscription predicate centres follow a cropped normal distribution
+// (rejection-sampled so the in-domain shape stays Gaussian); message values
+// are uniform unless an experiment asks for adverse skew. The paper places
+// the hot spot of each dimension at a different position "evenly along the
+// full range" to emulate differing skew across dimensions.
+
+#include "attr/value.h"
+#include "common/rng.h"
+
+namespace bluedove {
+
+/// Normal(mean, sigma) restricted to `domain` by rejection sampling.
+/// sigma <= 0 degrades to the constant `mean`.
+class CroppedNormal {
+ public:
+  CroppedNormal(double mean, double sigma, Range domain)
+      : mean_(mean), sigma_(sigma), domain_(domain) {}
+
+  double sample(Rng& rng) const;
+
+  double mean() const { return mean_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mean_;
+  double sigma_;
+  Range domain_;
+};
+
+/// Uniform over `domain`.
+class UniformDist {
+ public:
+  explicit UniformDist(Range domain) : domain_(domain) {}
+  double sample(Rng& rng) const { return rng.uniform(domain_.lo, domain_.hi); }
+
+ private:
+  Range domain_;
+};
+
+/// Hot-spot centre for dimension d of k, spread evenly over the domain:
+/// mean_d = lo + (d + 1) / (k + 1) * width.
+double hotspot_mean(Range domain, std::size_t dim, std::size_t k);
+
+}  // namespace bluedove

@@ -1,0 +1,70 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+namespace bluedove {
+
+SubscriptionGenerator::SubscriptionGenerator(SubscriptionWorkload workload,
+                                             std::uint64_t seed)
+    : workload_(std::move(workload)), rng_(seed) {
+  const std::size_t k = workload_.schema.dimensions();
+  centers_.reserve(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    const Range domain = workload_.schema.domain(static_cast<DimId>(d));
+    centers_.emplace_back(hotspot_mean(domain, d, k), workload_.sigma, domain);
+  }
+}
+
+Subscription SubscriptionGenerator::next() {
+  Subscription sub;
+  sub.id = next_id_++;
+  sub.subscriber = sub.id;
+  const std::size_t k = workload_.schema.dimensions();
+  sub.ranges.reserve(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    const Range domain = workload_.schema.domain(static_cast<DimId>(d));
+    const double center = centers_[d].sample(rng_);
+    const double half = 0.5 * workload_.predicate_width;
+    Range r{std::max(domain.lo, center - half),
+            std::min(domain.hi, center + half)};
+    if (r.empty()) r = Range{domain.lo, std::min(domain.hi, domain.lo + 1.0)};
+    sub.ranges.push_back(r);
+  }
+  return sub;
+}
+
+std::vector<Subscription> SubscriptionGenerator::batch(std::size_t n) {
+  std::vector<Subscription> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+MessageGenerator::MessageGenerator(MessageWorkload workload,
+                                   std::uint64_t seed)
+    : workload_(std::move(workload)), rng_(seed) {
+  const std::size_t k = workload_.schema.dimensions();
+  for (std::size_t d = 0; d < k; ++d) {
+    const Range domain = workload_.schema.domain(static_cast<DimId>(d));
+    skewed_.emplace_back(hotspot_mean(domain, d, k), workload_.sigma, domain);
+    uniform_.emplace_back(domain);
+  }
+}
+
+Message MessageGenerator::next() {
+  Message msg;
+  msg.id = next_id_++;
+  const std::size_t k = workload_.schema.dimensions();
+  msg.values.reserve(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    const bool skew = d < workload_.skewed_dims;
+    msg.values.push_back(skew ? skewed_[d].sample(rng_)
+                              : uniform_[d].sample(rng_));
+  }
+  if (workload_.payload_bytes > 0) {
+    msg.payload.assign(workload_.payload_bytes, 'x');
+  }
+  return msg;
+}
+
+}  // namespace bluedove

@@ -1,0 +1,69 @@
+#pragma once
+// Subscription and message generators reproducing the paper's workload
+// (§IV-B): k dimensions of length 1000; subscriptions are conjunctions of
+// width-250 range predicates whose centres follow a cropped normal with
+// sigma 250 (hot-spot density 2.7x average), hot spots spread evenly across
+// dimensions; message values are uniform, optionally adversely skewed on
+// the first j dimensions (Fig 11c).
+
+#include <vector>
+
+#include "attr/message.h"
+#include "attr/schema.h"
+#include "attr/subscription.h"
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace bluedove {
+
+struct SubscriptionWorkload {
+  AttributeSchema schema;
+  double predicate_width = 250.0;
+  double sigma = 250.0;  ///< cropped-normal stdev of predicate centres
+};
+
+class SubscriptionGenerator {
+ public:
+  SubscriptionGenerator(SubscriptionWorkload workload, std::uint64_t seed);
+
+  /// Next subscription; ids are sequential from 1, subscriber == id by
+  /// default (callers may overwrite).
+  Subscription next();
+
+  std::vector<Subscription> batch(std::size_t n);
+
+  const SubscriptionWorkload& workload() const { return workload_; }
+
+ private:
+  SubscriptionWorkload workload_;
+  std::vector<CroppedNormal> centers_;  ///< one per dimension
+  Rng rng_;
+  SubscriptionId next_id_ = 1;
+};
+
+struct MessageWorkload {
+  AttributeSchema schema;
+  /// Values on the first `skewed_dims` dimensions follow the subscriptions'
+  /// cropped normal (adverse skew); the rest are uniform.
+  std::size_t skewed_dims = 0;
+  double sigma = 250.0;  ///< sigma of the adverse skew
+  std::size_t payload_bytes = 0;
+};
+
+class MessageGenerator {
+ public:
+  MessageGenerator(MessageWorkload workload, std::uint64_t seed);
+
+  Message next();
+
+  const MessageWorkload& workload() const { return workload_; }
+
+ private:
+  MessageWorkload workload_;
+  std::vector<CroppedNormal> skewed_;
+  std::vector<UniformDist> uniform_;
+  Rng rng_;
+  MessageId next_id_ = 1;
+};
+
+}  // namespace bluedove

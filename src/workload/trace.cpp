@@ -1,0 +1,120 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bluedove {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x42445452;  // "BDTR"
+}
+
+void WorkloadTrace::subscribe(Timestamp at, Subscription sub) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.kind = TraceEvent::Kind::kSubscribe;
+  ev.sub = std::move(sub);
+  events_.push_back(std::move(ev));
+}
+
+void WorkloadTrace::unsubscribe(Timestamp at, Subscription sub) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.kind = TraceEvent::Kind::kUnsubscribe;
+  ev.sub = std::move(sub);
+  events_.push_back(std::move(ev));
+}
+
+void WorkloadTrace::publish(Timestamp at, Message msg) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.kind = TraceEvent::Kind::kPublish;
+  ev.msg = std::move(msg);
+  events_.push_back(std::move(ev));
+}
+
+Timestamp WorkloadTrace::duration() const {
+  Timestamp last = 0.0;
+  for (const TraceEvent& ev : events_) last = std::max(last, ev.at);
+  return last;
+}
+
+void WorkloadTrace::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::vector<std::uint8_t> WorkloadTrace::serialize() const {
+  serde::Writer w;
+  w.u32(kMagic);
+  w.varint(events_.size());
+  for (const TraceEvent& ev : events_) {
+    w.f64(ev.at);
+    w.u8(static_cast<std::uint8_t>(ev.kind));
+    if (ev.kind == TraceEvent::Kind::kPublish) {
+      write_message(w, ev.msg);
+    } else {
+      write_subscription(w, ev.sub);
+    }
+  }
+  return w.bytes();
+}
+
+WorkloadTrace WorkloadTrace::deserialize(
+    const std::vector<std::uint8_t>& bytes, bool* ok) {
+  WorkloadTrace trace;
+  serde::Reader r(bytes);
+  bool good = r.u32() == kMagic;
+  if (good) {
+    const auto n = r.varint();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      TraceEvent ev;
+      ev.at = r.f64();
+      ev.kind = static_cast<TraceEvent::Kind>(r.u8());
+      if (ev.kind == TraceEvent::Kind::kPublish) {
+        ev.msg = read_message(r);
+      } else if (ev.kind == TraceEvent::Kind::kSubscribe ||
+                 ev.kind == TraceEvent::Kind::kUnsubscribe) {
+        ev.sub = read_subscription(r);
+      } else {
+        good = false;
+        break;
+      }
+      trace.events_.push_back(std::move(ev));
+    }
+    good = good && r.ok();
+  }
+  if (ok != nullptr) *ok = good;
+  if (!good) trace.events_.clear();
+  return trace;
+}
+
+bool WorkloadTrace::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::vector<std::uint8_t> bytes = serialize();
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+WorkloadTrace WorkloadTrace::load(const std::string& path, bool* ok) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (ok != nullptr) *ok = false;
+    return {};
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return deserialize(bytes, ok);
+}
+
+}  // namespace bluedove

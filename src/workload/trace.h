@@ -1,0 +1,57 @@
+#pragma once
+// Workload traces: a timestamped sequence of subscribe / unsubscribe /
+// publish events that can be serialized, stored, and replayed against any
+// deployment. Lets experiments run identical workloads across systems and
+// configurations, and lets users capture production-like traces for
+// regression benchmarking.
+
+#include <string>
+#include <vector>
+
+#include "attr/message.h"
+#include "attr/subscription.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSubscribe = 0,
+    kUnsubscribe = 1,
+    kPublish = 2,
+  };
+
+  Timestamp at = 0.0;  ///< seconds from trace start
+  Kind kind = Kind::kPublish;
+  Subscription sub;  ///< kSubscribe / kUnsubscribe
+  Message msg;       ///< kPublish
+};
+
+class WorkloadTrace {
+ public:
+  void subscribe(Timestamp at, Subscription sub);
+  void unsubscribe(Timestamp at, Subscription sub);
+  void publish(Timestamp at, Message msg);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  /// Timestamp of the last event (0 for an empty trace).
+  Timestamp duration() const;
+
+  /// Sorts events by time (stable), for traces assembled out of order.
+  void sort();
+
+  std::vector<std::uint8_t> serialize() const;
+  static WorkloadTrace deserialize(const std::vector<std::uint8_t>& bytes,
+                                   bool* ok = nullptr);
+
+  bool save(const std::string& path) const;
+  static WorkloadTrace load(const std::string& path, bool* ok = nullptr);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace bluedove

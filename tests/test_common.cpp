@@ -1,0 +1,332 @@
+// Unit tests for src/common: rng, stats, serde, bounded queue, logging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/stats.h"
+
+namespace bluedove {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(d, -5.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, NextBelowIsBoundedAndCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.next_gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stdev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.next_exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// OnlineStats
+// ---------------------------------------------------------------------------
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stdev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.normalized_stdev(), 0.4);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.normalized_stdev(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(5);
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10, 10);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+// ---------------------------------------------------------------------------
+// QuantileReservoir / Histogram / regression
+// ---------------------------------------------------------------------------
+
+TEST(QuantileReservoir, ExactWhenUnderCapacity) {
+  QuantileReservoir q(128);
+  for (int i = 1; i <= 100; ++i) q.add(i);
+  EXPECT_NEAR(q.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(q.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(q.quantile(0.5), 50.5, 1.0);
+}
+
+TEST(QuantileReservoir, ApproximateWhenSampling) {
+  QuantileReservoir q(512);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform(0, 1000));
+  EXPECT_NEAR(q.quantile(0.5), 500.0, 60.0);
+  EXPECT_NEAR(q.quantile(0.9), 900.0, 60.0);
+  EXPECT_EQ(q.count(), 100000u);
+}
+
+TEST(QuantileReservoir, EmptyReturnsZero) {
+  QuantileReservoir q;
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bucket 0
+  h.add(9.5);    // bucket 9
+  h.add(-3.0);   // clamps to 0
+  h.add(42.0);   // clamps to 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
+}
+
+TEST(LinearRegression, RecoverSlope) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  EXPECT_NEAR(linear_regression_slope(xs, ys), 3.0, 1e-9);
+}
+
+TEST(LinearRegression, FlatAndDegenerate) {
+  EXPECT_EQ(linear_regression_slope({1.0}, {5.0}), 0.0);
+  EXPECT_NEAR(linear_regression_slope({1, 2, 3}, {4, 4, 4}), 0.0, 1e-12);
+  EXPECT_EQ(linear_regression_slope({2, 2, 2}, {1, 2, 3}), 0.0);  // no x spread
+}
+
+// ---------------------------------------------------------------------------
+// serde
+// ---------------------------------------------------------------------------
+
+TEST(Serde, ScalarRoundTrip) {
+  serde::Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(3.14159);
+  w.str("hello");
+  serde::Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serde, VarintBoundaries) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                          0xffffffffffffffffULL}) {
+    serde::Writer w;
+    w.varint(v);
+    serde::Reader r(w.bytes());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Serde, TruncatedReadSetsBad) {
+  serde::Writer w;
+  w.u64(42);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.resize(4);
+  serde::Reader r(bytes);
+  (void)r.u64();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serde, CorruptLengthDoesNotAllocate) {
+  serde::Writer w;
+  w.varint(1ULL << 40);  // absurd element count
+  serde::Reader r(w.bytes());
+  auto items = r.seq<int>([](serde::Reader& rr) {
+    return static_cast<int>(rr.u32());
+  });
+  EXPECT_TRUE(items.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.try_pop().value(), i);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEmpty) {
+  BoundedQueue<int> q(8);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, ProducerConsumerThreads) {
+  BoundedQueue<int> q(32);
+  constexpr int kItems = 5000;
+  std::int64_t sum = 0;
+  std::thread consumer([&] {
+    while (auto item = q.pop()) sum += *item;
+  });
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) q.push(i);
+    q.close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// CliArgs
+// ---------------------------------------------------------------------------
+
+TEST(CliArgs, ParsesAllForms) {
+  const char* argv[] = {"prog",     "run",          "--rate=100",
+                        "--system", "p2p",          "--verbose",
+                        "--last"};
+  const CliArgs args = CliArgs::parse(7, argv);
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"run"}));
+  EXPECT_EQ(args.get_int("rate", 0), 100);
+  EXPECT_EQ(args.get("system"), "p2p");
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_bool("last"));  // trailing bare flag
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 100.0);
+}
+
+TEST(CliArgs, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=no", "--d=yes"};
+  const CliArgs args = CliArgs::parse(5, argv);
+  EXPECT_FALSE(args.get_bool("a", true));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_FALSE(args.get_bool("c", true));
+  EXPECT_TRUE(args.get_bool("d", false));
+}
+
+TEST(CliArgs, UnconsumedDetectsTypos) {
+  const char* argv[] = {"prog", "--rate=1", "--typo=2"};
+  const CliArgs args = CliArgs::parse(3, argv);
+  (void)args.get_int("rate", 0);
+  EXPECT_EQ(args.unconsumed(), (std::vector<std::string>{"typo"}));
+}
+
+}  // namespace
+}  // namespace bluedove

@@ -1,0 +1,460 @@
+// Tests for the paper's core machinery: the segment routing view, the
+// mPartition subscription-space partitioning (including its completeness
+// theorem, §III-A1), the baseline strategies, and the forwarding policies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/full_replication.h"
+#include "baseline/single_dim_partition.h"
+#include "common/rng.h"
+#include "core/forwarding_policy.h"
+#include "core/partition_strategy.h"
+#include "core/segment_view.h"
+#include "workload/generators.h"
+
+namespace bluedove {
+namespace {
+
+SegmentView make_view(std::size_t matchers, std::size_t dims,
+                      Range domain = Range{0, 1000}) {
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < matchers; ++i) ids.push_back(100 + i);
+  const ClusterTable table =
+      bootstrap_table(ids, std::vector<Range>(dims, domain));
+  return SegmentView::build(table, dims);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentView
+// ---------------------------------------------------------------------------
+
+TEST(SegmentView, OwnerPointLookup) {
+  const SegmentView view = make_view(4, 2);  // segments of width 250
+  EXPECT_EQ(view.owner(0, 0.0), 100u);
+  EXPECT_EQ(view.owner(0, 249.9), 100u);
+  EXPECT_EQ(view.owner(0, 250.0), 101u);
+  EXPECT_EQ(view.owner(0, 999.9), 103u);
+  EXPECT_EQ(view.owner(0, 1000.0), kInvalidNode);  // outside the domain
+  EXPECT_EQ(view.owner(0, -1.0), kInvalidNode);
+  EXPECT_EQ(view.owner(5, 10.0), kInvalidNode);  // no such dimension
+}
+
+TEST(SegmentView, OverlappingRangeLookup) {
+  const SegmentView view = make_view(4, 1);
+  EXPECT_EQ(view.overlapping(0, Range{0, 100}),
+            (std::vector<NodeId>{100}));
+  EXPECT_EQ(view.overlapping(0, Range{200, 300}),
+            (std::vector<NodeId>{100, 101}));
+  EXPECT_EQ(view.overlapping(0, Range{250, 500}),
+            (std::vector<NodeId>{101}));  // half-open boundaries
+  EXPECT_EQ(view.overlapping(0, Range{0, 1000}).size(), 4u);
+}
+
+TEST(SegmentView, DeadMatchersExcluded) {
+  std::vector<NodeId> ids{1, 2, 3};
+  ClusterTable table = bootstrap_table(ids, {Range{0, 300}});
+  table.find_mutable(2)->status = NodeStatus::kDead;
+  const SegmentView view = SegmentView::build(table, 1);
+  EXPECT_EQ(view.matcher_count(), 2u);
+  EXPECT_EQ(view.owner(0, 150.0), kInvalidNode);  // dead owner's hole
+  EXPECT_EQ(view.owner(0, 50.0), 1u);
+}
+
+TEST(SegmentView, ClockwiseNeighborWraps) {
+  const SegmentView view = make_view(3, 1);
+  EXPECT_EQ(view.clockwise_neighbor(0, 100), 101u);
+  EXPECT_EQ(view.clockwise_neighbor(0, 102), 100u);  // wrap-around
+  EXPECT_EQ(view.clockwise_neighbor(0, 999), kInvalidNode);
+}
+
+TEST(SegmentView, JoiningMatcherWithoutAllSegmentsSkipped) {
+  ClusterTable table = bootstrap_table({1, 2}, {Range{0, 100}, Range{0, 100}});
+  MatcherState half;
+  half.id = 3;
+  half.generation = 1;
+  half.version = 1;
+  half.segments = {Range{0, 10}};  // only one of two dims yet
+  table.merge(half);
+  const SegmentView view = SegmentView::build(table, 2);
+  EXPECT_EQ(view.matcher_count(), 2u);
+}
+
+// Property: for ANY partition of the domain into segments (e.g. after a
+// chain of elastic splits produced uneven widths), owner(v) is exactly the
+// matcher whose segment contains v, and overlapping(r) is exactly the set
+// of matchers whose segments intersect r.
+TEST(SegmentView, OwnerAndOverlapPropertySweep) {
+  Rng rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    // Random cut points -> uneven segments.
+    const std::size_t n = 2 + rng.next_below(8);
+    std::vector<double> cuts{0.0, 1000.0};
+    for (std::size_t i = 0; i + 1 < n; ++i) cuts.push_back(rng.uniform(1, 999));
+    std::sort(cuts.begin(), cuts.end());
+    ClusterTable table;
+    std::vector<Range> segments;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      MatcherState state;
+      state.id = static_cast<NodeId>(100 + i);
+      state.generation = 1;
+      state.version = 1;
+      state.segments = {Range{cuts[i], cuts[i + 1]}};
+      segments.push_back(state.segments[0]);
+      table.merge(state);
+    }
+    const SegmentView view = SegmentView::build(table, 1);
+
+    for (int probe = 0; probe < 40; ++probe) {
+      const double v = rng.uniform(0, 1000);
+      NodeId expect = kInvalidNode;
+      for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (segments[i].contains(v)) expect = static_cast<NodeId>(100 + i);
+      }
+      EXPECT_EQ(view.owner(0, v), expect);
+
+      const double lo = rng.uniform(0, 990);
+      const Range r{lo, lo + rng.uniform(0.5, 400)};
+      std::vector<NodeId> expect_overlap;
+      for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (segments[i].overlaps(r)) {
+          expect_overlap.push_back(static_cast<NodeId>(100 + i));
+        }
+      }
+      EXPECT_EQ(view.overlapping(0, r), expect_overlap);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MPartition
+// ---------------------------------------------------------------------------
+
+Subscription sub_with(std::vector<Range> ranges, SubscriptionId id = 1) {
+  Subscription s;
+  s.id = id;
+  s.subscriber = id;
+  s.ranges = std::move(ranges);
+  return s;
+}
+
+TEST(MPartition, AssignsOncePerDimensionForNarrowSub) {
+  const SegmentView view = make_view(4, 3);
+  MPartition part;
+  // Each predicate inside one segment.
+  const auto assignments =
+      part.assign(view, sub_with({{10, 20}, {260, 270}, {510, 520}}));
+  ASSERT_EQ(assignments.size(), 3u);
+  EXPECT_EQ(assignments[0], (Assignment{100, 0}));
+  EXPECT_EQ(assignments[1], (Assignment{101, 1}));
+  EXPECT_EQ(assignments[2], (Assignment{102, 2}));
+}
+
+TEST(MPartition, PredicateSpanningSegmentsAssignedToEachOwner) {
+  const SegmentView view = make_view(4, 1);
+  MPartition part;
+  const auto assignments = part.assign(view, sub_with({{200, 600}}));
+  std::set<NodeId> owners;
+  for (const auto& a : assignments) owners.insert(a.matcher);
+  EXPECT_EQ(owners, (std::set<NodeId>{100, 101, 102}));
+}
+
+TEST(MPartition, CandidatesOnePerDimension) {
+  const SegmentView view = make_view(4, 3);
+  MPartition part;
+  const auto candidates =
+      part.candidates(view, Message{1, {10, 260, 510}, ""});
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0], (Assignment{100, 0}));
+  EXPECT_EQ(candidates[1], (Assignment{101, 1}));
+  EXPECT_EQ(candidates[2], (Assignment{102, 2}));
+}
+
+TEST(MPartition, SearchableDimsLimitsBoth) {
+  const SegmentView view = make_view(4, 3);
+  MPartition::Options opt;
+  opt.searchable_dims = 2;
+  MPartition part(opt);
+  EXPECT_EQ(part.candidates(view, Message{1, {10, 260, 510}, ""}).size(), 2u);
+  for (const auto& a :
+       part.assign(view, sub_with({{10, 20}, {260, 270}, {510, 520}}))) {
+    EXPECT_LT(a.dim, 2);
+  }
+}
+
+// The completeness theorem of §III-A1: for ANY message m and ANY candidate
+// (matcher, dim) of m, every subscription matching m has a copy stored at
+// that matcher filed under that dim (or in the wide set replicated to all).
+TEST(MPartition, CompletenessPropertySweep) {
+  Rng rng(404);
+  for (double cap : {1.0, 0.5}) {  // with and without the wide-predicate cap
+    const SegmentView view = make_view(7, 4);
+    MPartition::Options opt;
+    opt.wide_predicate_cap = cap;
+    MPartition part(opt);
+
+    const AttributeSchema schema = AttributeSchema::uniform(4, 1000.0);
+    SubscriptionWorkload wl;
+    wl.schema = schema;
+    wl.predicate_width = 400.0;  // wide predicates stress the cap
+    SubscriptionGenerator gen(wl, 17);
+    MessageWorkload mwl;
+    mwl.schema = schema;
+    MessageGenerator mgen(mwl, 18);
+
+    // Build the per-(matcher, dim) placement map.
+    std::map<std::pair<NodeId, DimId>, std::set<SubscriptionId>> stored;
+    std::vector<Subscription> subs;
+    for (int i = 0; i < 300; ++i) {
+      Subscription sub = gen.next();
+      for (const Assignment& a : part.assign(view, sub)) {
+        stored[{a.matcher, a.dim}].insert(sub.id);
+      }
+      subs.push_back(std::move(sub));
+    }
+
+    for (int i = 0; i < 300; ++i) {
+      const Message msg = mgen.next();
+      for (const Assignment& cand : part.candidates(view, msg)) {
+        const auto& dim_set = stored[{cand.matcher, cand.dim}];
+        const auto& wide_set = stored[{cand.matcher, kWideDim}];
+        for (const Subscription& sub : subs) {
+          if (!sub.matches(msg)) continue;
+          EXPECT_TRUE(dim_set.count(sub.id) || wide_set.count(sub.id))
+              << "cap=" << cap << " sub " << sub.id
+              << " missing at matcher " << cand.matcher << " dim "
+              << cand.dim;
+        }
+      }
+    }
+  }
+}
+
+TEST(MPartition, WideSubGoesToWideSetOnAllMatchers) {
+  const SegmentView view = make_view(5, 2);
+  MPartition::Options opt;
+  opt.wide_predicate_cap = 0.5;
+  MPartition part(opt);
+  // Covers all 5 segments on dim0 -> wide.
+  const auto assignments =
+      part.assign(view, sub_with({{0, 1000}, {10, 20}}));
+  ASSERT_EQ(assignments.size(), 5u);
+  std::set<NodeId> owners;
+  for (const auto& a : assignments) {
+    EXPECT_EQ(a.dim, kWideDim);
+    owners.insert(a.matcher);
+  }
+  EXPECT_EQ(owners.size(), 5u);
+}
+
+TEST(MPartition, NeighborReplicationOnDegenerateAssignment) {
+  // One matcher owns segment j of every dimension; a subscription entirely
+  // inside matcher 100's segments lands on it k times -> neighbours get
+  // replicas.
+  const SegmentView view = make_view(4, 3);
+  MPartition::Options opt;
+  opt.neighbor_replication = true;
+  MPartition part(opt);
+  const auto assignments =
+      part.assign(view, sub_with({{10, 20}, {30, 40}, {50, 60}}));
+  std::set<NodeId> owners;
+  for (const auto& a : assignments) owners.insert(a.matcher);
+  EXPECT_GT(owners.size(), 1u);  // fault tolerance restored
+  EXPECT_TRUE(owners.count(100));
+
+  MPartition::Options off = opt;
+  off.neighbor_replication = false;
+  MPartition part_off(off);
+  const auto plain =
+      part_off.assign(view, sub_with({{10, 20}, {30, 40}, {50, 60}}));
+  for (const auto& a : plain) EXPECT_EQ(a.matcher, 100u);
+}
+
+TEST(MPartition, EmptyViewAssignsNothing) {
+  const SegmentView view;
+  MPartition part;
+  EXPECT_TRUE(part.assign(view, sub_with({{0, 1}})).empty());
+  EXPECT_TRUE(part.candidates(view, Message{1, {0.5}, ""}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline strategies
+// ---------------------------------------------------------------------------
+
+TEST(SingleDimPartition, UsesOnlyDimZero) {
+  const SegmentView view = make_view(4, 3);
+  SingleDimPartition p2p;
+  const auto assignments =
+      p2p.assign(view, sub_with({{200, 600}, {0, 1000}, {0, 1000}}));
+  for (const auto& a : assignments) EXPECT_EQ(a.dim, 0);
+  std::set<NodeId> owners;
+  for (const auto& a : assignments) owners.insert(a.matcher);
+  EXPECT_EQ(owners, (std::set<NodeId>{100, 101, 102}));
+
+  const auto candidates = p2p.candidates(view, Message{1, {10, 900, 900}, ""});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (Assignment{100, 0}));
+}
+
+TEST(SingleDimPartition, CompletenessOnItsDimension) {
+  const SegmentView view = make_view(5, 2);
+  SingleDimPartition p2p;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double lo = rng.uniform(0, 900);
+    const Subscription sub = sub_with({{lo, lo + 100}, {0, 1000}}, i + 1);
+    const Message msg{1, {rng.uniform(0, 1000), 5}, ""};
+    if (!sub.matches(msg)) continue;
+    const auto candidates = p2p.candidates(view, msg);
+    ASSERT_EQ(candidates.size(), 1u);
+    const auto assignments = p2p.assign(view, sub);
+    bool found = false;
+    for (const auto& a : assignments) {
+      found = found || a.matcher == candidates[0].matcher;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(FullReplication, EverythingEverywhere) {
+  const SegmentView view = make_view(6, 2);
+  FullReplication full;
+  EXPECT_EQ(full.assign(view, sub_with({{0, 1}, {0, 1}})).size(), 6u);
+  EXPECT_EQ(full.candidates(view, Message{1, {5, 5}, ""}).size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// LoadView and policies
+// ---------------------------------------------------------------------------
+
+LoadReport report_with(std::vector<DimLoad> dims, double at,
+                       std::uint32_t cores = 4, double utilization = 0.0) {
+  LoadReport r;
+  r.dims = std::move(dims);
+  r.cores = cores;
+  r.utilization = utilization;
+  r.measured_at = at;
+  return r;
+}
+
+TEST(LoadView, ApplyGetForget) {
+  LoadView view;
+  EXPECT_EQ(view.get(1, 0), nullptr);
+  view.apply(1, report_with({{2, 10, 8, 0.001, 100}}, 5.0));
+  const auto* entry = view.get(1, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->load.queue_len, 2);
+  EXPECT_DOUBLE_EQ(entry->reported_at, 5.0);
+  EXPECT_EQ(view.get(1, 1), nullptr);
+  view.forget(1);
+  EXPECT_EQ(view.get(1, 0), nullptr);
+}
+
+TEST(LoadView, TotalsSumAcrossMatchersAndDims) {
+  LoadView view;
+  view.apply(1, report_with({{1, 10, 5, 0, 0}, {2, 20, 10, 0, 0}}, 1.0));
+  view.apply(2, report_with({{3, 30, 15, 0, 0}}, 1.0));
+  const auto totals = view.totals();
+  EXPECT_DOUBLE_EQ(totals.queue_len, 6);
+  EXPECT_DOUBLE_EQ(totals.arrival_rate, 60);
+  EXPECT_DOUBLE_EQ(totals.matching_rate, 30);
+}
+
+TEST(Policies, RandomCoversAllCandidates) {
+  RandomPolicy policy;
+  LoadView view;
+  Rng rng(3);
+  const std::vector<Assignment> candidates{{1, 0}, {2, 1}, {3, 2}};
+  std::set<NodeId> picked;
+  for (int i = 0; i < 200; ++i) {
+    picked.insert(policy.pick(candidates, view, 0.0, rng).matcher);
+  }
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(Policies, SubscriptionCountPicksSmallestSet) {
+  SubscriptionCountPolicy policy;
+  LoadView view;
+  view.apply(1, report_with({{0, 0, 0, 0, 5000}}, 0.0));
+  view.apply(2, report_with({{0, 0, 0, 0, 10}}, 0.0));
+  view.apply(3, report_with({{0, 0, 0, 0, 900}}, 0.0));
+  Rng rng(1);
+  const std::vector<Assignment> candidates{{1, 0}, {2, 0}, {3, 0}};
+  EXPECT_EQ(policy.pick(candidates, view, 0.0, rng).matcher, 2u);
+}
+
+TEST(Policies, AdaptiveQueueExtrapolation) {
+  LoadView::Entry entry;
+  entry.known = true;
+  entry.reported_at = 10.0;
+  entry.load.queue_len = 100;
+  entry.load.arrival_rate = 50;
+  entry.load.matching_rate = 30;
+  // Paper formula with lambda: q(12) = 100 + (50-30)*2 = 140.
+  EXPECT_DOUBLE_EQ(AdaptivePolicy::extrapolated_queue(entry, 12.0, true, -1.0),
+                   140.0);
+  // With local accounting: q = 100 + sent - mu*dt = 100 + 10 - 60 = 50.
+  EXPECT_DOUBLE_EQ(AdaptivePolicy::extrapolated_queue(entry, 12.0, true, 10.0),
+                   50.0);
+  // Clamped at zero.
+  EXPECT_DOUBLE_EQ(AdaptivePolicy::extrapolated_queue(entry, 12.0, true, 0.0),
+                   40.0);
+  entry.load.matching_rate = 500;
+  EXPECT_DOUBLE_EQ(AdaptivePolicy::extrapolated_queue(entry, 12.0, true, 0.0),
+                   0.0);
+  // Without extrapolation the reported queue is used as-is.
+  EXPECT_DOUBLE_EQ(AdaptivePolicy::extrapolated_queue(entry, 12.0, false, 0.0),
+                   100.0);
+}
+
+TEST(Policies, ProcessingEstimatePrefersIdleCheapMatcher) {
+  LoadView view;
+  // Matcher 1: small set, idle. Matcher 2: big set, busy queue.
+  view.apply(1, report_with({{0, 0, 0, 0.0002, 50}}, 0.0, 4, 0.05));
+  view.apply(2, report_with({{200, 100, 50, 0.004, 8000}}, 0.0, 4, 0.95));
+  AdaptivePolicy policy;
+  Rng rng(1);
+  const std::vector<Assignment> candidates{{1, 0}, {2, 0}};
+  EXPECT_EQ(policy.pick(candidates, view, 0.5, rng).matcher, 1u);
+}
+
+TEST(Policies, AdaptiveLocalAccountingShiftsChoice) {
+  LoadView view;
+  // Two identical matchers.
+  view.apply(1, report_with({{0, 0, 100, 0.002, 100}}, 0.0, 4, 0.2));
+  view.apply(2, report_with({{0, 0, 100, 0.002, 100}}, 0.0, 4, 0.2));
+  AdaptivePolicy policy;
+  policy.set_dispatcher_count(1);
+  Rng rng(1);
+  const std::vector<Assignment> candidates{{1, 0}, {2, 0}};
+  // Flood matcher 1 with forwards; the policy should steer to matcher 2.
+  for (int i = 0; i < 500; ++i) policy.on_forwarded(Assignment{1, 0});
+  EXPECT_EQ(policy.pick(candidates, view, 0.05, rng).matcher, 2u);
+  // A fresh report clears the local counters; back to a tie broken by order.
+  policy.on_report(1);
+  EXPECT_EQ(policy.pick(candidates, view, 0.05, rng).matcher, 1u);
+}
+
+TEST(Policies, UnknownMatcherIsAttractive) {
+  LoadView view;
+  view.apply(1, report_with({{500, 100, 10, 0.01, 9000}}, 0.0, 4, 1.0));
+  AdaptivePolicy policy;
+  Rng rng(1);
+  const std::vector<Assignment> candidates{{1, 0}, {7, 0}};
+  EXPECT_EQ(policy.pick(candidates, view, 1.0, rng).matcher, 7u);
+}
+
+TEST(Policies, FactoryNames) {
+  EXPECT_STREQ(make_policy(PolicyKind::kRandom)->name(), "random");
+  EXPECT_STREQ(make_policy(PolicyKind::kSubscriptionCount)->name(),
+               "sub-count");
+  EXPECT_STREQ(make_policy(PolicyKind::kResponseTime)->name(),
+               "response-time");
+  EXPECT_STREQ(make_policy(PolicyKind::kAdaptive)->name(), "adaptive");
+  EXPECT_STREQ(to_string(PolicyKind::kAdaptive), "adaptive");
+}
+
+}  // namespace
+}  // namespace bluedove

@@ -1,0 +1,253 @@
+// Tests for the gossip subsystem: the phi-accrual failure detector in
+// isolation, and full Gossiper convergence / conviction / refutation on the
+// simulator.
+
+#include <gtest/gtest.h>
+
+#include "gossip/failure_detector.h"
+#include "gossip/gossiper.h"
+#include "sim/sim_cluster.h"
+
+namespace bluedove {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FailureDetector
+// ---------------------------------------------------------------------------
+
+TEST(FailureDetector, UnknownPeerHasZeroPhi) {
+  FailureDetector fd;
+  EXPECT_EQ(fd.phi(42, 100.0), 0.0);
+  EXPECT_FALSE(fd.convicted(42, 100.0));
+  EXPECT_FALSE(fd.monitoring(42));
+}
+
+TEST(FailureDetector, PhiGrowsWithSilence) {
+  FailureDetector fd;
+  for (int i = 0; i < 10; ++i) fd.heartbeat(1, i * 1.0);
+  const double phi5 = fd.phi(1, 14.0);
+  const double phi20 = fd.phi(1, 29.0);
+  EXPECT_GT(phi5, 0.0);
+  EXPECT_GT(phi20, phi5);
+}
+
+TEST(FailureDetector, RegularHeartbeatsKeepPhiLow) {
+  FailureDetector fd;
+  for (int i = 0; i < 100; ++i) fd.heartbeat(1, i * 1.0);
+  EXPECT_LT(fd.phi(1, 100.5), 1.0);
+  EXPECT_FALSE(fd.convicted(1, 100.5));
+}
+
+TEST(FailureDetector, ConvictionThreshold) {
+  FailureDetector::Config cfg;
+  cfg.phi_threshold = 5.0;
+  FailureDetector fd(cfg);
+  for (int i = 0; i < 20; ++i) fd.heartbeat(1, i * 1.0);
+  // phi = t/mean * log10(e); threshold 5 -> ~11.5 intervals.
+  EXPECT_FALSE(fd.convicted(1, 19.0 + 10.0));
+  EXPECT_TRUE(fd.convicted(1, 19.0 + 13.0));
+}
+
+TEST(FailureDetector, AdaptsToSlowCadence) {
+  FailureDetector fd;
+  for (int i = 0; i < 50; ++i) fd.heartbeat(1, i * 5.0);  // 5 s cadence
+  // 20 s of silence is only 4 intervals: not suspicious.
+  EXPECT_FALSE(fd.convicted(1, 245.0 + 20.0));
+}
+
+TEST(FailureDetector, RemoveForgetsPeer) {
+  FailureDetector fd;
+  fd.heartbeat(1, 0.0);
+  EXPECT_TRUE(fd.monitoring(1));
+  fd.remove(1);
+  EXPECT_FALSE(fd.monitoring(1));
+  EXPECT_EQ(fd.phi(1, 1000.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Gossiper on the simulator
+// ---------------------------------------------------------------------------
+
+/// Minimal node wrapping a Gossiper (matcher-free).
+class GossipNode final : public Node {
+ public:
+  GossipNode(NodeId id, GossipConfig cfg, ClusterTable bootstrap)
+      : gossiper_(id, cfg), bootstrap_(std::move(bootstrap)) {}
+
+  void start(NodeContext& ctx) override {
+    gossiper_.start(ctx, std::move(bootstrap_));
+  }
+  void on_receive(NodeId from, Envelope env) override {
+    gossiper_.handle(from, env);
+  }
+
+  Gossiper gossiper_;
+  ClusterTable bootstrap_;
+};
+
+struct GossipFixture {
+  explicit GossipFixture(std::size_t n, GossipConfig cfg = {}) {
+    sim::SimConfig scfg;
+    scfg.seed = 9;
+    sim = std::make_unique<sim::SimCluster>(scfg);
+    std::vector<Range> domains(2, Range{0, 1000});
+    for (std::size_t i = 0; i < n; ++i) ids.push_back(100 + i);
+    const ClusterTable boot = bootstrap_table(ids, domains);
+    for (NodeId id : ids) {
+      sim->add_node(id, std::make_unique<GossipNode>(id, cfg, boot));
+    }
+    sim->start_all();
+  }
+
+  GossipNode* node(NodeId id) { return sim->node_as<GossipNode>(id); }
+
+  std::unique_ptr<sim::SimCluster> sim;
+  std::vector<NodeId> ids;
+};
+
+TEST(Gossiper, HeartbeatVersionsAdvance) {
+  GossipFixture fx(4);
+  fx.sim->run_for(5.0);
+  for (NodeId id : fx.ids) {
+    const MatcherState* self = fx.node(id)->gossiper_.self_state();
+    ASSERT_NE(self, nullptr);
+    EXPECT_GE(self->version, 4u);  // ~1 bump per round
+  }
+}
+
+TEST(Gossiper, StateChangePropagatesToAllPeers) {
+  GossipFixture fx(8);
+  fx.sim->run_for(2.0);
+  // Node 0 shrinks its segment on dim 0.
+  fx.node(100)->gossiper_.update_self([](MatcherState& s) {
+    s.segments[0] = Range{0, 10};
+  });
+  fx.sim->run_for(6.0);  // ~log2(8)=3 fanout, a few rounds suffice
+  for (NodeId id : fx.ids) {
+    const MatcherState* entry = fx.node(id)->gossiper_.table().find(100);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->segments[0], (Range{0, 10})) << "node " << id;
+  }
+}
+
+TEST(Gossiper, DeadPeerConvictedEverywhere) {
+  GossipConfig cfg;
+  cfg.fd.phi_threshold = 3.0;  // quick conviction for the test
+  GossipFixture fx(6, cfg);
+  fx.sim->run_for(5.0);
+  fx.sim->kill(101);
+  fx.sim->run_for(40.0);
+  for (NodeId id : fx.ids) {
+    if (id == 101) continue;
+    const MatcherState* entry = fx.node(id)->gossiper_.table().find(101);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, NodeStatus::kDead) << "node " << id;
+  }
+}
+
+TEST(Gossiper, LivePeerRefutesConviction) {
+  GossipFixture fx(4);
+  fx.sim->run_for(3.0);
+  // Forge a death rumor about node 102 at node 100 and let it spread.
+  GossipNode* g100 = fx.node(100);
+  MatcherState* entry = g100->gossiper_.table().find_mutable(102);
+  ASSERT_NE(entry, nullptr);
+  entry->status = NodeStatus::kDead;
+  entry->version += 1;
+  fx.sim->run_for(20.0);
+  // 102 is alive and gossiping, so everyone should see it alive again.
+  for (NodeId id : fx.ids) {
+    const MatcherState* e = fx.node(id)->gossiper_.table().find(102);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->status, NodeStatus::kAlive) << "node " << id;
+  }
+}
+
+TEST(Gossiper, JoinerLearnsTableViaMergeAndGossip) {
+  GossipFixture fx(5);
+  fx.sim->run_for(2.0);
+  // A 6th node starts with an empty table, merges a pulled snapshot, and
+  // installs itself; everyone should learn it.
+  const NodeId joiner = 200;
+  GossipConfig cfg;
+  auto node = std::make_unique<GossipNode>(joiner, cfg, ClusterTable{});
+  GossipNode* raw = node.get();
+  fx.sim->add_node(joiner, std::move(node));
+  fx.sim->start(joiner);
+  fx.sim->run_for(0.1);
+  raw->gossiper_.merge_table(fx.node(100)->gossiper_.table());
+  MatcherState self;
+  self.id = joiner;
+  self.generation = 1;
+  self.status = NodeStatus::kAlive;
+  self.segments = {Range{0, 1}, Range{0, 1}};
+  raw->gossiper_.install_self(self);
+  fx.sim->run_for(8.0);
+  for (NodeId id : fx.ids) {
+    EXPECT_TRUE(fx.node(id)->gossiper_.table().contains(joiner))
+        << "node " << id;
+  }
+}
+
+TEST(Gossiper, FanoutIsLogOfLiveCount) {
+  GossipFixture fx(16);
+  fx.sim->run_for(1.5);
+  EXPECT_EQ(fx.node(100)->gossiper_.fanout(), 4u);  // ceil(log2 16)
+}
+
+// Churn property: after a burst of joins and crashes, every surviving node
+// converges to the same view of who is alive.
+TEST(Gossiper, ConvergesUnderChurn) {
+  GossipConfig cfg;
+  cfg.fd.phi_threshold = 3.0;
+  GossipFixture fx(8, cfg);
+  fx.sim->run_for(3.0);
+
+  // Two crashes...
+  fx.sim->kill(102);
+  fx.sim->kill(105);
+  fx.sim->run_for(5.0);
+  // ...and two joiners seeded from a live node's table.
+  for (NodeId joiner : {NodeId{300}, NodeId{301}}) {
+    auto node = std::make_unique<GossipNode>(joiner, cfg, ClusterTable{});
+    GossipNode* raw = node.get();
+    fx.sim->add_node(joiner, std::move(node));
+    fx.sim->start(joiner);
+    fx.sim->run_for(0.1);
+    raw->gossiper_.merge_table(fx.node(100)->gossiper_.table());
+    MatcherState self;
+    self.id = joiner;
+    self.generation = 1;
+    self.status = NodeStatus::kAlive;
+    self.segments = {Range{0, 1}, Range{0, 1}};
+    raw->gossiper_.install_self(self);
+  }
+  fx.sim->run_for(40.0);
+
+  std::vector<NodeId> everyone = fx.ids;
+  everyone.push_back(300);
+  everyone.push_back(301);
+  std::vector<NodeId> reference;
+  for (NodeId id : everyone) {
+    if (!fx.sim->alive(id)) continue;
+    const auto live = fx.sim->node_as<GossipNode>(id)->gossiper_.table()
+                          .live_matchers();
+    if (reference.empty()) {
+      reference = live;
+      // 8 - 2 dead + 2 joined = 8 live nodes.
+      EXPECT_EQ(reference.size(), 8u);
+    } else {
+      EXPECT_EQ(live, reference) << "node " << id << " diverged";
+    }
+  }
+}
+
+TEST(Gossiper, RoundsAdvance) {
+  GossipFixture fx(3);
+  fx.sim->run_for(5.5);
+  EXPECT_GE(fx.node(100)->gossiper_.rounds(), 4u);
+  EXPECT_LE(fx.node(100)->gossiper_.rounds(), 6u);
+}
+
+}  // namespace
+}  // namespace bluedove

@@ -1,0 +1,162 @@
+// Tests for the experiment harness itself (Deployment, saturation probe).
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace bluedove {
+namespace {
+
+ExperimentConfig tiny() {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 4;
+  cfg.dispatchers = 1;
+  cfg.subscriptions = 500;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Deployment, StartLoadsSubscriptions) {
+  Deployment dep(tiny());
+  dep.start();
+  EXPECT_EQ(dep.subscriptions_loaded(), 500u);
+  std::size_t copies = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    copies += dep.matcher(id)->stored_copies();
+  }
+  // mPartition files each subscription at least once per dimension.
+  EXPECT_GE(copies, 500u * 4u);
+}
+
+TEST(Deployment, PublishCountersAdvance) {
+  Deployment dep(tiny());
+  dep.start();
+  dep.set_rate(200.0);
+  dep.run_for(5.0);
+  dep.set_rate(0.0);
+  dep.run_for(1.0);
+  EXPECT_NEAR(static_cast<double>(dep.published()), 1000.0, 150.0);
+  EXPECT_EQ(dep.completed(), dep.published());
+  EXPECT_EQ(dep.backlog(), 0u);
+}
+
+TEST(Deployment, RateZeroStopsPublishing) {
+  Deployment dep(tiny());
+  dep.start();
+  dep.set_rate(100.0);
+  dep.run_for(2.0);
+  dep.set_rate(0.0);
+  const std::uint64_t p = dep.published();
+  dep.run_for(5.0);
+  EXPECT_EQ(dep.published(), p);
+}
+
+TEST(Deployment, StableAtLowRateUnstableAtAbsurdRate) {
+  Deployment dep(tiny());
+  dep.start();
+  Deployment::ProbeOptions probe;
+  probe.warmup = 1.0;
+  probe.measure = 3.0;
+  EXPECT_TRUE(dep.stable_at(100.0, probe));
+  EXPECT_FALSE(dep.stable_at(500000.0, probe));
+}
+
+TEST(Deployment, SaturationProbeBracketsCapacity) {
+  ExperimentConfig cfg = tiny();
+  cfg.subscriptions = 1000;
+  Deployment dep(cfg);
+  dep.start();
+  Deployment::ProbeOptions probe;
+  probe.start_rate = 500.0;
+  probe.growth = 2.0;
+  probe.warmup = 1.0;
+  probe.measure = 3.0;
+  probe.refine_steps = 2;
+  const double sat = dep.find_saturation_rate(probe);
+  EXPECT_GT(sat, 500.0);
+  EXPECT_LT(sat, 1.0e6);
+  // The found rate is indeed sustainable after a drain.
+  dep.set_rate(0.0);
+  dep.run_for(5.0);
+  EXPECT_TRUE(dep.stable_at(0.5 * sat, probe));
+}
+
+TEST(Deployment, AddSubscriptionsGrowsSets) {
+  Deployment dep(tiny());
+  dep.start();
+  std::size_t before = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    before += dep.matcher(id)->stored_copies();
+  }
+  dep.add_subscriptions(500);
+  std::size_t after = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    after += dep.matcher(id)->stored_copies();
+  }
+  EXPECT_GT(after, before);
+  EXPECT_EQ(dep.subscriptions_loaded(), 1000u);
+}
+
+TEST(Deployment, SampleLoadsTracksBusyMatchers) {
+  Deployment dep(tiny());
+  dep.start();
+  dep.set_rate(2000.0);
+  dep.run_for(3.0);
+  dep.sample_loads();
+  dep.run_for(5.0);
+  dep.sample_loads();
+  double total = 0.0;
+  for (NodeId id : dep.matcher_ids()) total += dep.loads().load(id);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Deployment, TraceReplayDeliversDeterministically) {
+  ExperimentConfig cfg = tiny();
+  cfg.subscriptions = 0;
+  cfg.full_matching = true;
+
+  WorkloadTrace trace;
+  Subscription sub;
+  sub.id = 9001;
+  sub.subscriber = 9001;
+  sub.ranges = {{0, 500}, {0, 1000}, {0, 1000}, {0, 1000}};
+  trace.subscribe(0.0, sub);
+  for (int i = 0; i < 20; ++i) {
+    Message msg;
+    msg.id = static_cast<MessageId>(100 + i);
+    msg.values = {static_cast<double>(i * 50), 10, 10, 10};  // 10 hits < 500
+    trace.publish(1.0 + i * 0.05, msg);
+  }
+  trace.unsubscribe(3.0, sub);
+  for (int i = 0; i < 5; ++i) {
+    Message msg;
+    msg.id = static_cast<MessageId>(200 + i);
+    msg.values = {10, 10, 10, 10};
+    trace.publish(4.0 + i * 0.05, msg);  // after unsubscribe: no deliveries
+  }
+
+  auto run_once = [&] {
+    Deployment dep(cfg);
+    std::uint64_t deliveries = 0;
+    dep.on_delivery = [&](const Delivery&, Timestamp) { ++deliveries; };
+    dep.start();
+    dep.replay(trace);
+    dep.run_for(trace.duration() + 3.0);
+    EXPECT_EQ(dep.published(), 25u);
+    EXPECT_EQ(dep.completed(), 25u);
+    return deliveries;
+  };
+  const std::uint64_t first = run_once();
+  EXPECT_EQ(first, 10u);
+  EXPECT_EQ(run_once(), first);  // identical workload, identical outcome
+}
+
+TEST(Deployment, SystemNames) {
+  EXPECT_STREQ(to_string(SystemKind::kBlueDove), "bluedove");
+  EXPECT_STREQ(to_string(SystemKind::kP2P), "p2p");
+  EXPECT_STREQ(to_string(SystemKind::kFullReplication), "full-rep");
+}
+
+}  // namespace
+}  // namespace bluedove

@@ -1,0 +1,295 @@
+// Tests for the subscription matching engines. The core suite is
+// parameterized over all three engines (TEST_P): every engine must agree
+// with a brute-force oracle on randomized workloads and support dynamic
+// insert/erase.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "attr/schema.h"
+#include "common/rng.h"
+#include "index/bucket_index.h"
+#include "index/interval_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/subscription_index.h"
+#include "workload/generators.h"
+
+namespace bluedove {
+namespace {
+
+constexpr DimId kPivot = 1;
+const Range kDomain{0, 1000};
+
+SubPtr make_sub(SubscriptionId id, std::vector<Range> ranges) {
+  Subscription s;
+  s.id = id;
+  s.subscriber = id;
+  s.ranges = std::move(ranges);
+  return std::make_shared<const Subscription>(std::move(s));
+}
+
+class IndexTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  std::unique_ptr<SubscriptionIndex> make() {
+    return make_index(GetParam(), kPivot, kDomain);
+  }
+};
+
+TEST_P(IndexTest, EmptyIndexMatchesNothing) {
+  auto index = make();
+  EXPECT_EQ(index->size(), 0u);
+  std::vector<SubPtr> out;
+  WorkCounter wc;
+  index->match(Message{1, {500, 500, 500}, ""}, out, wc);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(IndexTest, InsertEraseSize) {
+  auto index = make();
+  index->insert(make_sub(1, {{0, 100}, {0, 100}, {0, 100}}));
+  index->insert(make_sub(2, {{0, 100}, {200, 300}, {0, 100}}));
+  EXPECT_EQ(index->size(), 2u);
+  EXPECT_TRUE(index->erase(1));
+  EXPECT_EQ(index->size(), 1u);
+  EXPECT_FALSE(index->erase(1));  // double erase
+  EXPECT_FALSE(index->erase(99));
+  index->clear();
+  EXPECT_EQ(index->size(), 0u);
+}
+
+TEST_P(IndexTest, MatchVerifiesAllDimensions) {
+  auto index = make();
+  // Pivot range contains 250 but dim0 will not contain 999.
+  index->insert(make_sub(1, {{0, 100}, {200, 300}, {0, 1000}}));
+  std::vector<SubPtr> out;
+  WorkCounter wc;
+  index->match(Message{1, {999, 250, 5}, ""}, out, wc);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  index->match(Message{2, {50, 250, 5}, ""}, out, wc);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->id, 1u);
+}
+
+TEST_P(IndexTest, PivotBoundariesHalfOpen) {
+  auto index = make();
+  index->insert(make_sub(1, {{0, 1000}, {200, 300}, {0, 1000}}));
+  std::vector<SubPtr> out;
+  WorkCounter wc;
+  index->match(Message{1, {1, 200, 1}, ""}, out, wc);
+  EXPECT_EQ(out.size(), 1u);  // lo inclusive
+  out.clear();
+  index->match(Message{2, {1, 300, 1}, ""}, out, wc);
+  EXPECT_TRUE(out.empty());  // hi exclusive
+  out.clear();
+  index->match(Message{3, {1, 199.999, 1}, ""}, out, wc);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(IndexTest, OracleAgreementRandomWorkload) {
+  auto index = make();
+  const AttributeSchema schema = AttributeSchema::uniform(3, 1000.0);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  wl.predicate_width = 120.0;
+  SubscriptionGenerator gen(wl, 77);
+  std::vector<SubPtr> oracle;
+  for (int i = 0; i < 600; ++i) {
+    auto sub = std::make_shared<const Subscription>(gen.next());
+    oracle.push_back(sub);
+    index->insert(sub);
+  }
+
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 78);
+  for (int i = 0; i < 400; ++i) {
+    const Message msg = mgen.next();
+    std::vector<SubPtr> out;
+    WorkCounter wc;
+    index->match(msg, out, wc);
+    std::set<SubscriptionId> got;
+    for (const auto& s : out) got.insert(s->id);
+    EXPECT_EQ(got.size(), out.size()) << "duplicate results";
+    std::set<SubscriptionId> expect;
+    for (const auto& s : oracle) {
+      if (s->matches(msg)) expect.insert(s->id);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST_P(IndexTest, OracleAgreementAfterErasures) {
+  auto index = make();
+  const AttributeSchema schema = AttributeSchema::uniform(3, 1000.0);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  SubscriptionGenerator gen(wl, 33);
+  std::vector<SubPtr> oracle;
+  for (int i = 0; i < 400; ++i) {
+    auto sub = std::make_shared<const Subscription>(gen.next());
+    oracle.push_back(sub);
+    index->insert(sub);
+  }
+  // Erase every third subscription.
+  std::vector<SubPtr> remaining;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(index->erase(oracle[i]->id));
+    } else {
+      remaining.push_back(oracle[i]);
+    }
+  }
+  EXPECT_EQ(index->size(), remaining.size());
+
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 34);
+  for (int i = 0; i < 200; ++i) {
+    const Message msg = mgen.next();
+    std::vector<SubPtr> out;
+    WorkCounter wc;
+    index->match(msg, out, wc);
+    std::set<SubscriptionId> got;
+    for (const auto& s : out) got.insert(s->id);
+    std::set<SubscriptionId> expect;
+    for (const auto& s : remaining) {
+      if (s->matches(msg)) expect.insert(s->id);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST_P(IndexTest, WorkCounterAdvances) {
+  auto index = make();
+  for (int i = 0; i < 100; ++i) {
+    const double lo = (i % 10) * 100.0;
+    index->insert(make_sub(i + 1, {{0, 1000}, {lo, lo + 100}, {0, 1000}}));
+  }
+  WorkCounter wc;
+  std::vector<SubPtr> out;
+  index->match(Message{1, {5, 555, 5}, ""}, out, wc);
+  EXPECT_GT(wc.total(), 0.0);
+}
+
+TEST_P(IndexTest, MatchCostIsPositiveAndBoundedBySetForScan) {
+  auto index = make();
+  for (int i = 0; i < 50; ++i) {
+    index->insert(make_sub(i + 1, {{0, 1000}, {0, 1000}, {0, 1000}}));
+  }
+  const Message msg{1, {5, 500, 5}, ""};
+  EXPECT_GT(index->match_cost(msg), 0.0);
+}
+
+TEST_P(IndexTest, ForEachVisitsEverySubscription) {
+  auto index = make();
+  std::set<SubscriptionId> inserted;
+  for (int i = 1; i <= 64; ++i) {
+    index->insert(make_sub(i, {{0, 10}, {i * 10.0, i * 10.0 + 5}, {0, 10}}));
+    inserted.insert(i);
+  }
+  std::set<SubscriptionId> seen;
+  index->for_each([&](const SubPtr& s) { seen.insert(s->id); });
+  EXPECT_EQ(seen, inserted);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, IndexTest,
+                         ::testing::Values(IndexKind::kLinearScan,
+                                           IndexKind::kBucket,
+                                           IndexKind::kIntervalTree),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case IndexKind::kLinearScan:
+                               return "LinearScan";
+                             case IndexKind::kBucket:
+                               return "Bucket";
+                             default:
+                               return "IntervalTree";
+                           }
+                         });
+
+// ---------------------------------------------------------------------------
+// Engine-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(LinearScanIndex, MatchCostEqualsSetSize) {
+  LinearScanIndex index(0);
+  for (int i = 1; i <= 30; ++i) {
+    index.insert(make_sub(i, {{0, 10}, {0, 10}}));
+  }
+  EXPECT_DOUBLE_EQ(index.match_cost(Message{1, {5, 5}, ""}), 30.0);
+}
+
+TEST(BucketIndex, ColdBucketIsCheap) {
+  BucketIndex index(0, Range{0, 1000}, 10);
+  // 50 subs piled on [0, 100) and one wide sub covering everything.
+  for (int i = 1; i <= 50; ++i) {
+    index.insert(make_sub(i, {{0, 100}, {0, 1000}}));
+  }
+  index.insert(make_sub(99, {{0, 1000}, {0, 1000}}));
+  const double hot = index.match_cost(Message{1, {50, 5}, ""});
+  const double cold = index.match_cost(Message{1, {950, 5}, ""});
+  EXPECT_GT(hot, 40.0);
+  EXPECT_LT(cold, 5.0);
+}
+
+TEST(BucketIndex, RangeSpanningManyBucketsFoundEverywhere) {
+  BucketIndex index(0, Range{0, 1000}, 16);
+  index.insert(make_sub(1, {{100, 900}, {0, 1000}}));
+  std::vector<SubPtr> out;
+  WorkCounter wc;
+  for (double v : {100.0, 450.0, 899.9}) {
+    out.clear();
+    index.match(Message{1, {v, 5}, ""}, out, wc);
+    EXPECT_EQ(out.size(), 1u) << "at v=" << v;
+  }
+  out.clear();
+  index.match(Message{1, {950.0, 5}, ""}, out, wc);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalTreeIndex, StabCountMatchesOracle) {
+  IntervalTreeIndex index(0, Range{0, 1000});
+  Rng rng(5);
+  std::vector<Range> ranges;
+  for (int i = 1; i <= 300; ++i) {
+    const double lo = rng.uniform(0, 950);
+    const Range r{lo, lo + rng.uniform(1, 50)};
+    ranges.push_back(r);
+    index.insert(make_sub(i, {r, {0, 1000}}));
+  }
+  for (double v : {0.0, 123.0, 500.0, 777.7, 999.0}) {
+    std::size_t expect = 0;
+    for (const Range& r : ranges) {
+      if (r.contains(v)) ++expect;
+    }
+    EXPECT_EQ(index.stab_count(v), expect) << "at v=" << v;
+  }
+}
+
+TEST(IntervalTreeIndex, DeepInsertAtMaxDepth) {
+  IntervalTreeIndex index(0, Range{0, 1000}, /*max_depth=*/4);
+  // Tiny intervals that would need depth > 4 land at depth-4 leaves.
+  for (int i = 1; i <= 100; ++i) {
+    const double lo = i * 9.5;
+    index.insert(make_sub(i, {{lo, lo + 0.001}, {0, 1000}}));
+  }
+  EXPECT_EQ(index.size(), 100u);
+  std::vector<SubPtr> out;
+  WorkCounter wc;
+  index.match(Message{1, {9.5 * 42 + 0.0005, 5}, ""}, out, wc);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->id, 42u);
+}
+
+TEST(IndexFactory, NamesAndKinds) {
+  EXPECT_STREQ(to_string(IndexKind::kLinearScan), "linear-scan");
+  EXPECT_STREQ(to_string(IndexKind::kBucket), "bucket");
+  EXPECT_STREQ(to_string(IndexKind::kIntervalTree), "interval-tree");
+  EXPECT_NE(make_index(IndexKind::kBucket, 0, Range{0, 1}), nullptr);
+}
+
+}  // namespace
+}  // namespace bluedove

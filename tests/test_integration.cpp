@@ -1,0 +1,256 @@
+// End-to-end integration tests on the simulator: every system (BlueDove,
+// P2P, full replication) must deliver EXACTLY the matches a brute-force
+// oracle computes; failure and elasticity flows must behave as §III/§IV
+// describe.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/experiment.h"
+
+namespace bluedove {
+namespace {
+
+ExperimentConfig small_config(SystemKind system) {
+  ExperimentConfig cfg;
+  cfg.system = system;
+  cfg.matchers = 6;
+  cfg.dispatchers = 2;
+  cfg.subscriptions = 1500;
+  cfg.full_matching = true;
+  cfg.seed = 31;
+  return cfg;
+}
+
+class SystemTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(SystemTest, DeliveriesMatchBruteForceOracle) {
+  // Regenerate the exact same subscriptions/messages the deployment uses to
+  // build an oracle (same workload seeds as Deployment's constructor).
+  ExperimentConfig cfg = small_config(GetParam());
+  Deployment dep(cfg);
+
+  const AttributeSchema schema = AttributeSchema::uniform(cfg.dims);
+  SubscriptionWorkload swl;
+  swl.schema = schema;
+  swl.predicate_width = cfg.predicate_width;
+  swl.sigma = cfg.sub_sigma;
+  SubscriptionGenerator oracle_subs(swl, cfg.seed * 3 + 1);
+  const std::vector<Subscription> subs =
+      oracle_subs.batch(cfg.subscriptions);
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator oracle_msgs(mwl, cfg.seed * 5 + 2);
+
+  std::map<MessageId, std::set<SubscriptionId>> delivered;
+  dep.on_delivery = [&](const Delivery& d, Timestamp) {
+    delivered[d.msg_id].insert(d.sub_id);
+  };
+
+  dep.start();
+  const int kMessages = 300;
+  dep.set_rate(100.0);
+  while (dep.published() < kMessages) dep.run_for(0.5);
+  dep.set_rate(0.0);
+  dep.run_for(3.0);
+
+  // Oracle: replay the same message stream.
+  std::size_t nonempty = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    const Message msg = oracle_msgs.next();
+    std::set<SubscriptionId> expect;
+    for (const Subscription& sub : subs) {
+      if (sub.matches(msg)) expect.insert(sub.id);
+    }
+    const auto it = delivered.find(msg.id);
+    const std::set<SubscriptionId> got =
+        it != delivered.end() ? it->second : std::set<SubscriptionId>{};
+    EXPECT_EQ(got, expect) << to_string(GetParam()) << " message " << msg.id;
+    if (!expect.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 10u) << "workload produced too few matches to be a "
+                              "meaningful oracle test";
+}
+
+TEST_P(SystemTest, ResponseTimeBoundedBelowSaturation) {
+  ExperimentConfig cfg = small_config(GetParam());
+  cfg.full_matching = false;
+  cfg.subscriptions = 2000;
+  Deployment dep(cfg);
+  dep.start();
+  dep.set_rate(300.0);
+  dep.run_for(10.0);
+  EXPECT_GT(dep.completed(), 0u);
+  // Far below saturation: mean response stays within a few milliseconds.
+  EXPECT_LT(dep.responses().overall().mean(), 0.05);
+  EXPECT_LT(dep.backlog(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SystemTest,
+                         ::testing::Values(SystemKind::kBlueDove,
+                                           SystemKind::kP2P,
+                                           SystemKind::kFullReplication),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SystemKind::kBlueDove:
+                               return "BlueDove";
+                             case SystemKind::kP2P:
+                               return "P2P";
+                             default:
+                               return "FullReplication";
+                           }
+                         });
+
+// ---------------------------------------------------------------------------
+// Fault tolerance (paper §III-A3, Fig 10)
+// ---------------------------------------------------------------------------
+
+TEST(Integration, MatcherCrashLosesOnlyDetectionWindow) {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 8;
+  cfg.subscriptions = 2000;
+  cfg.seed = 5;
+  Deployment dep(cfg);
+  dep.start();
+  dep.set_rate(1000.0);
+  dep.run_for(10.0);
+
+  const std::uint64_t lost_before = dep.sim().lost_match_requests();
+  dep.kill_matcher(dep.matcher_ids()[2]);
+  dep.run_for(60.0);
+  const std::uint64_t lost_during = dep.sim().lost_match_requests();
+  EXPECT_GT(lost_during, lost_before);  // detection window loses messages
+
+  // After detection + reroute the loss stops: a later window loses nothing.
+  dep.run_for(30.0);
+  const std::uint64_t p0 = dep.published();
+  const std::uint64_t c0 = dep.completed();
+  const std::uint64_t lost0 = dep.sim().lost_match_requests();
+  dep.run_for(20.0);
+  EXPECT_EQ(dep.sim().lost_match_requests(), lost0);
+  EXPECT_NEAR(static_cast<double>(dep.completed() - c0),
+              static_cast<double>(dep.published() - p0),
+              0.02 * static_cast<double>(dep.published() - p0));
+}
+
+TEST(Integration, SurvivesManyFailuresWhileCandidatesRemain) {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 8;
+  cfg.subscriptions = 1000;
+  cfg.seed = 6;
+  Deployment dep(cfg);
+  dep.start();
+  dep.set_rate(500.0);
+  dep.run_for(5.0);
+  dep.kill_matcher(dep.matcher_ids()[0]);
+  dep.kill_matcher(dep.matcher_ids()[3]);
+  dep.run_for(60.0);
+  // Still matching: recent completions keep pace with publishes.
+  const std::uint64_t c0 = dep.completed();
+  dep.run_for(10.0);
+  EXPECT_GT(dep.completed(), c0 + 4000u);  // ~500/s for 10 s, minus slack
+}
+
+// ---------------------------------------------------------------------------
+// Elasticity (paper §III-C, Fig 9)
+// ---------------------------------------------------------------------------
+
+TEST(Integration, JoinRedistributesSubscriptionsAndServesTraffic) {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 4;
+  cfg.subscriptions = 3000;
+  cfg.table_pull_interval = 3.0;
+  cfg.seed = 7;
+  Deployment dep(cfg);
+  dep.start();
+  dep.set_rate(500.0);
+  dep.run_for(5.0);
+
+  std::size_t victim_before = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    victim_before += dep.matcher(id)->stored_copies();
+  }
+
+  const NodeId joiner = dep.add_matcher();
+  dep.run_for(15.0);  // join + gossip + dispatcher pull
+
+  MatcherNode* jm = dep.matcher(joiner);
+  ASSERT_NE(jm, nullptr);
+  EXPECT_GT(jm->stored_copies(), 0u);  // received handover subscriptions
+  ASSERT_NE(jm->gossiper().self_state(), nullptr);
+  EXPECT_TRUE(jm->gossiper().self_state()->alive());
+
+  // Dispatchers learned about the joiner and send it traffic.
+  const std::uint64_t matched_before = jm->matched_total();
+  dep.run_for(10.0);
+  EXPECT_GT(jm->matched_total(), matched_before);
+
+  // The joiner owns a real segment on every dimension.
+  for (DimId d = 0; d < 4; ++d) {
+    EXPECT_GT(jm->segment(d).width(), 0.0) << "dim " << d;
+  }
+  (void)victim_before;
+}
+
+TEST(Integration, GracefulLeaveKeepsMatchingComplete) {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 4;
+  cfg.subscriptions = 800;
+  cfg.full_matching = true;
+  cfg.table_pull_interval = 2.0;
+  cfg.seed = 8;
+  Deployment dep(cfg);
+
+  std::uint64_t deliveries = 0;
+  dep.on_delivery = [&](const Delivery&, Timestamp) { ++deliveries; };
+  dep.start();
+
+  dep.leave_matcher(dep.matcher_ids()[1]);
+  dep.run_for(10.0);  // handover + table propagation
+
+  // Publish after the leave has settled: everything still matches.
+  dep.set_rate(200.0);
+  dep.run_for(10.0);
+  dep.set_rate(0.0);
+  dep.run_for(2.0);
+  EXPECT_GT(deliveries, 0u);
+  EXPECT_EQ(dep.completed(), dep.published());
+}
+
+// ---------------------------------------------------------------------------
+// Overhead sanity (paper §IV-C)
+// ---------------------------------------------------------------------------
+
+TEST(Integration, ControlPlaneOverheadIsSmall) {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kBlueDove;
+  cfg.matchers = 10;
+  cfg.subscriptions = 500;
+  cfg.seed = 9;
+  Deployment dep(cfg);
+  dep.start();
+  dep.set_rate(200.0);
+  dep.run_for(5.0);
+  std::uint64_t sent0 = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    sent0 += dep.sim().traffic(id).bytes_sent;
+  }
+  dep.run_for(30.0);
+  std::uint64_t sent1 = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    sent1 += dep.sim().traffic(id).bytes_sent;
+  }
+  const double per_matcher_per_sec =
+      static_cast<double>(sent1 - sent0) / 30.0 / 10.0;
+  EXPECT_GT(per_matcher_per_sec, 100.0);    // gossip is running
+  EXPECT_LT(per_matcher_per_sec, 50000.0);  // and stays a few KB/s
+}
+
+}  // namespace
+}  // namespace bluedove

@@ -1,0 +1,159 @@
+// Tests for the threaded runtime substrate (ThreadCluster) in isolation —
+// the Service facade exercises it end-to-end; these pin the transport
+// semantics themselves.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/thread_cluster.h"
+
+namespace bluedove {
+namespace {
+
+bool eventually(const std::function<bool()>& pred, double seconds = 5.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+class ProbeNode final : public Node {
+ public:
+  void start(NodeContext& ctx) override {
+    ctx_ = &ctx;
+    started.store(true);
+  }
+  void on_receive(NodeId from, Envelope env) override {
+    last_from.store(from);
+    received.fetch_add(1);
+    if (forward_to != kInvalidNode) {
+      ctx_->send(forward_to, std::move(env));
+    }
+  }
+  void stop() override { stopped.store(true); }
+
+  NodeContext* ctx_ = nullptr;
+  NodeId forward_to = kInvalidNode;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<int> received{0};
+  std::atomic<NodeId> last_from{kInvalidNode};
+};
+
+TEST(ThreadCluster, StartDeliversAndStops) {
+  runtime::ThreadCluster cluster;
+  auto node = std::make_unique<ProbeNode>();
+  ProbeNode* probe = node.get();
+  cluster.add_node(1, std::move(node));
+  EXPECT_FALSE(cluster.running(1));
+  cluster.start(1);
+  EXPECT_TRUE(eventually([&] { return probe->started.load(); }));
+  EXPECT_TRUE(cluster.running(1));
+  cluster.inject(1, Envelope::of(JoinRequest{}));
+  EXPECT_TRUE(eventually([&] { return probe->received.load() == 1; }));
+  EXPECT_EQ(probe->last_from.load(), kInvalidNode);
+  cluster.stop(1);
+  EXPECT_TRUE(probe->stopped.load());
+  EXPECT_FALSE(cluster.running(1));
+}
+
+TEST(ThreadCluster, MessagesRelayThroughChain) {
+  runtime::ThreadCluster cluster;
+  ProbeNode* nodes[3];
+  for (NodeId id = 1; id <= 3; ++id) {
+    auto node = std::make_unique<ProbeNode>();
+    nodes[id - 1] = node.get();
+    cluster.add_node(id, std::move(node));
+  }
+  nodes[0]->forward_to = 2;
+  nodes[1]->forward_to = 3;
+  cluster.start_all();
+  cluster.inject(1, Envelope::of(JoinRequest{}));
+  EXPECT_TRUE(eventually([&] { return nodes[2]->received.load() == 1; }));
+  EXPECT_EQ(nodes[2]->last_from.load(), 2u);
+  EXPECT_EQ(nodes[1]->last_from.load(), 1u);
+  cluster.shutdown();
+}
+
+TEST(ThreadCluster, SendToMissingNodeCountsDrop) {
+  runtime::ThreadCluster cluster;
+  auto node = std::make_unique<ProbeNode>();
+  ProbeNode* probe = node.get();
+  probe->forward_to = 99;  // nobody there
+  cluster.add_node(1, std::move(node));
+  cluster.start(1);
+  cluster.inject(1, Envelope::of(JoinRequest{}));
+  EXPECT_TRUE(eventually([&] { return cluster.dropped_messages() == 1; }));
+  cluster.shutdown();
+}
+
+TEST(ThreadCluster, TimersAndCancellation) {
+  runtime::ThreadCluster cluster;
+  auto node = std::make_unique<ProbeNode>();
+  ProbeNode* probe = node.get();
+  cluster.add_node(1, std::move(node));
+  cluster.start(1);
+  ASSERT_TRUE(eventually([&] { return probe->started.load(); }));
+  std::atomic<int> fired{0};
+  probe->ctx_->set_timer(0.03, [&] { fired.fetch_add(1); });
+  const TimerId cancel_me =
+      probe->ctx_->set_timer(0.03, [&] { fired.fetch_add(100); });
+  probe->ctx_->cancel_timer(cancel_me);
+  EXPECT_TRUE(eventually([&] { return fired.load() == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(fired.load(), 1);
+  cluster.shutdown();
+}
+
+TEST(ThreadCluster, ChargeDefersWithoutRecursion) {
+  runtime::ThreadCluster cluster;
+  auto node = std::make_unique<ProbeNode>();
+  ProbeNode* probe = node.get();
+  cluster.add_node(1, std::move(node));
+  cluster.start(1);
+  ASSERT_TRUE(eventually([&] { return probe->started.load(); }));
+  std::atomic<int> done{0};
+  // A long chain of charge() completions must not blow the stack.
+  std::function<void()> step;
+  step = [&] {
+    if (done.fetch_add(1) < 5000) probe->ctx_->charge(1.0, step);
+  };
+  probe->ctx_->charge(1.0, step);
+  EXPECT_TRUE(eventually([&] { return done.load() >= 5001; }, 10.0));
+  cluster.shutdown();
+}
+
+TEST(ThreadCluster, NowAdvances) {
+  runtime::ThreadCluster cluster;
+  const Timestamp t0 = cluster.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GT(cluster.now(), t0 + 0.02);
+}
+
+TEST(ThreadCluster, ShutdownIdempotentAndSafeWithTraffic) {
+  runtime::ThreadCluster cluster;
+  ProbeNode* nodes[2];
+  for (NodeId id = 1; id <= 2; ++id) {
+    auto node = std::make_unique<ProbeNode>();
+    nodes[id - 1] = node.get();
+    cluster.add_node(id, std::move(node));
+  }
+  nodes[0]->forward_to = 2;
+  nodes[1]->forward_to = 1;  // ping-pong forever
+  cluster.start_all();
+  cluster.inject(1, Envelope::of(JoinRequest{}));
+  EXPECT_TRUE(eventually([&] { return nodes[1]->received.load() > 0; }));
+  cluster.shutdown();
+  cluster.shutdown();
+}
+
+}  // namespace
+}  // namespace bluedove

@@ -1,0 +1,150 @@
+// Tests for the public Service facade on the real threaded runtime.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/service.h"
+
+namespace bluedove {
+namespace {
+
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.dimensions = 3;
+  cfg.matchers = 3;
+  cfg.dispatchers = 1;
+  cfg.matcher_cores = 1;
+  return cfg;
+}
+
+TEST(Service, SubscribePublishDeliver) {
+  Service svc(small_config());
+  std::atomic<int> hits{0};
+  const SubscriptionId id = svc.subscribe(
+      {Range{0, 500}, Range{0, 1000}, Range{200, 300}},
+      [&](const Delivery& d) {
+        hits.fetch_add(1);
+        EXPECT_EQ(d.values.size(), 3u);
+      });
+  EXPECT_NE(id, 0u);
+  svc.settle();
+  EXPECT_NE(svc.publish({100, 100, 250}, "hit"), 0u);
+  EXPECT_NE(svc.publish({600, 100, 250}, "miss"), 0u);
+  EXPECT_TRUE(svc.wait_idle(10.0));
+  svc.settle(0.2);
+  EXPECT_EQ(hits.load(), 1);
+  const Service::Stats stats = svc.stats();
+  EXPECT_EQ(stats.published, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.delivered, 1u);
+}
+
+TEST(Service, RejectsInvalidInput) {
+  Service svc(small_config());
+  EXPECT_EQ(svc.subscribe({Range{0, 10}}, nullptr), 0u);  // wrong arity
+  EXPECT_EQ(svc.subscribe({Range{10, 10}, Range{0, 1}, Range{0, 1}}, nullptr),
+            0u);  // empty range
+  EXPECT_EQ(svc.publish({1.0}), 0u);                // wrong arity
+  EXPECT_EQ(svc.publish({1.0, 2.0, 1e9}), 0u);      // out of domain
+  EXPECT_EQ(svc.stats().published, 0u);
+}
+
+TEST(Service, UnsubscribeStopsDeliveries) {
+  Service svc(small_config());
+  std::atomic<int> hits{0};
+  const SubscriptionId id =
+      svc.subscribe({Range{0, 1000}, Range{0, 1000}, Range{0, 1000}},
+                    [&](const Delivery&) { hits.fetch_add(1); });
+  svc.settle();
+  svc.publish({1, 1, 1});
+  svc.wait_idle(10.0);
+  svc.settle(0.2);
+  EXPECT_EQ(hits.load(), 1);
+
+  svc.unsubscribe(id);
+  svc.settle();
+  svc.publish({2, 2, 2});
+  svc.wait_idle(10.0);
+  svc.settle(0.2);
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(Service, MultipleSubscribersEachNotified) {
+  Service svc(small_config());
+  std::atomic<int> wide_hits{0};
+  std::atomic<int> narrow_hits{0};
+  svc.subscribe({Range{0, 1000}, Range{0, 1000}, Range{0, 1000}},
+                [&](const Delivery&) { wide_hits.fetch_add(1); });
+  svc.subscribe({Range{0, 10}, Range{0, 1000}, Range{0, 1000}},
+                [&](const Delivery&) { narrow_hits.fetch_add(1); });
+  svc.settle();
+  for (int i = 0; i < 20; ++i) {
+    svc.publish({static_cast<double>(i * 50), 5, 5});  // 0, 50, ..., 950
+  }
+  svc.wait_idle(10.0);
+  svc.settle(0.3);
+  EXPECT_EQ(wide_hits.load(), 20);
+  EXPECT_EQ(narrow_hits.load(), 1);  // only the value 0 lies in [0, 10)
+}
+
+TEST(Service, AddMatcherKeepsWorking) {
+  Service svc(small_config());
+  std::atomic<int> hits{0};
+  svc.subscribe({Range{0, 1000}, Range{0, 1000}, Range{0, 1000}},
+                [&](const Delivery&) { hits.fetch_add(1); });
+  svc.settle();
+  EXPECT_EQ(svc.matcher_count(), 3u);
+  svc.add_matcher();
+  EXPECT_EQ(svc.matcher_count(), 4u);
+  svc.settle(1.0);  // join + handover + dispatcher pull (1 s interval)
+  for (int i = 0; i < 10; ++i) svc.publish({500, 500, 500});
+  svc.wait_idle(10.0);
+  svc.settle(0.3);
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(Service, CustomSchema) {
+  ServiceConfig cfg;
+  cfg.schema = AttributeSchema({{"price", Range{0, 100}},
+                                {"qty", Range{0, 10}}});
+  cfg.matchers = 2;
+  cfg.dispatchers = 1;
+  Service svc(cfg);
+  std::atomic<int> hits{0};
+  svc.subscribe({Range{50, 100}, Range{0, 10}},
+                [&](const Delivery&) { hits.fetch_add(1); });
+  svc.settle();
+  svc.publish({75, 5});
+  svc.publish({25, 5});
+  svc.wait_idle(10.0);
+  svc.settle(0.2);
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(Service, DimensionStatsTrackSubscriptions) {
+  Service svc(small_config());
+  // dim0 narrow and spread, dim1 don't-care, dim2 medium.
+  for (int i = 0; i < 30; ++i) {
+    const double lo = (i % 10) * 90.0;
+    svc.subscribe({Range{lo, lo + 30}, Range{0, 1000}, Range{lo, lo + 400}},
+                  nullptr);
+  }
+  const auto stats = svc.dimension_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats[1].usage, 0.0);
+  EXPECT_GT(stats[0].score, stats[2].score);
+  const auto picks = svc.recommended_dimensions(2);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 0);
+  EXPECT_EQ(picks[1], 2);
+}
+
+TEST(Service, ShutdownIsIdempotent) {
+  Service svc(small_config());
+  svc.shutdown();
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace bluedove

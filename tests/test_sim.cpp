@@ -1,0 +1,265 @@
+// Tests for the discrete-event substrate: event loop semantics and the
+// SimCluster node lifecycle (delivery, latency, charging, crash-stop).
+
+#include <gtest/gtest.h>
+
+#include "net/transport.h"
+#include "sim/event_loop.h"
+#include "sim/sim_cluster.h"
+
+namespace bluedove {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, RunsInTimeOrder) {
+  sim::EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoop, FifoAmongEqualTimestamps) {
+  sim::EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryInclusive) {
+  sim::EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.schedule_at(2.0, [&] { ++fired; });
+  loop.schedule_at(2.5, [&] { ++fired; });
+  loop.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+  loop.run_until(3.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  sim::EventLoop loop;
+  int fired = 0;
+  const auto id = loop.schedule_at(1.0, [&] { ++fired; });
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.executed(), 1u);
+}
+
+TEST(EventLoop, EventsScheduledDuringExecutionRun) {
+  sim::EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] {
+    loop.schedule_after(0.5, [&] { ++fired; });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 1.5);
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  sim::EventLoop loop;
+  loop.run_until(5.0);
+  double at = -1;
+  loop.schedule_at(1.0, [&] { at = loop.now(); });
+  loop.run();
+  EXPECT_DOUBLE_EQ(at, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// SimCluster
+// ---------------------------------------------------------------------------
+
+/// Test node that records receptions and can echo.
+class RecorderNode final : public Node {
+ public:
+  void start(NodeContext& ctx) override { ctx_ = &ctx; }
+  void on_receive(NodeId from, Envelope env) override {
+    received.push_back({from, ctx_->now(), std::move(env)});
+  }
+  NodeContext* ctx_ = nullptr;
+  struct Rx {
+    NodeId from;
+    Timestamp at;
+    Envelope env;
+  };
+  std::vector<Rx> received;
+};
+
+sim::SimConfig quiet_config() {
+  sim::SimConfig cfg;
+  cfg.net_latency = 0.001;
+  cfg.net_jitter = 0.0;
+  return cfg;
+}
+
+TEST(SimCluster, InjectDeliversAfterLatency) {
+  sim::SimCluster sim(quiet_config());
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* raw = node.get();
+  sim.add_node(1, std::move(node));
+  sim.start_all();
+  sim.inject(1, Envelope::of(TablePullReq{}));
+  sim.run_for(0.01);
+  ASSERT_EQ(raw->received.size(), 1u);
+  EXPECT_DOUBLE_EQ(raw->received[0].at, 0.001);
+  EXPECT_EQ(raw->received[0].from, kInvalidNode);
+}
+
+TEST(SimCluster, NodeToNodeSendCarriesSender) {
+  sim::SimCluster sim(quiet_config());
+  auto a = std::make_unique<RecorderNode>();
+  auto b = std::make_unique<RecorderNode>();
+  RecorderNode* rb = b.get();
+  RecorderNode* ra = a.get();
+  sim.add_node(1, std::move(a));
+  sim.add_node(2, std::move(b));
+  sim.start_all();
+  sim.run_for(0.001);
+  ra->ctx_->send(2, Envelope::of(JoinRequest{}));
+  sim.run_for(0.01);
+  ASSERT_EQ(rb->received.size(), 1u);
+  EXPECT_EQ(rb->received[0].from, 1u);
+}
+
+TEST(SimCluster, KilledNodeReceivesNothing) {
+  sim::SimCluster sim(quiet_config());
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* raw = node.get();
+  sim.add_node(1, std::move(node));
+  sim.start_all();
+  sim.inject(1, Envelope::of(TablePullReq{}));
+  sim.kill(1);  // killed before the in-flight delivery lands
+  sim.run_for(0.01);
+  EXPECT_TRUE(raw->received.empty());
+  EXPECT_FALSE(sim.alive(1));
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+}
+
+TEST(SimCluster, LostMatchRequestsCounted) {
+  sim::SimCluster sim(quiet_config());
+  sim.add_node(1, std::make_unique<RecorderNode>());
+  sim.start_all();
+  sim.kill(1);
+  sim.inject(1, Envelope::of(MatchRequest{}));
+  sim.inject(1, Envelope::of(TablePullReq{}));
+  sim.run_for(0.01);
+  EXPECT_EQ(sim.lost_match_requests(), 1u);
+  EXPECT_EQ(sim.dropped_messages(), 2u);
+}
+
+TEST(SimCluster, TimersFireUnlessNodeDies) {
+  sim::SimCluster sim(quiet_config());
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* raw = node.get();
+  sim.add_node(1, std::move(node));
+  sim.add_node(2, std::make_unique<RecorderNode>());
+  sim.start_all();
+  sim.run_for(0.001);
+  int fired = 0;
+  raw->ctx_->set_timer(0.5, [&] { ++fired; });
+  raw->ctx_->set_timer(2.0, [&] { ++fired; });
+  sim.run_for(1.0);
+  EXPECT_EQ(fired, 1);
+  sim.kill(1);
+  sim.run_for(5.0);
+  EXPECT_EQ(fired, 1);  // second timer suppressed by death
+}
+
+TEST(SimCluster, CancelTimer) {
+  sim::SimCluster sim(quiet_config());
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* raw = node.get();
+  sim.add_node(1, std::move(node));
+  sim.start_all();
+  sim.run_for(0.001);
+  int fired = 0;
+  const TimerId id = raw->ctx_->set_timer(0.5, [&] { ++fired; });
+  raw->ctx_->cancel_timer(id);
+  sim.run_for(1.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimCluster, ChargeAccumulatesBusyTimeAndDefersCompletion) {
+  sim::SimConfig cfg = quiet_config();
+  cfg.sec_per_work_unit = 1e-3;  // 1 ms per unit, easy arithmetic
+  sim::SimCluster sim(cfg);
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* raw = node.get();
+  sim.add_node(1, std::move(node), /*cores=*/2);
+  sim.start_all();
+  sim.run_for(0.001);
+  double done_at = -1;
+  raw->ctx_->charge(100.0, [&] { done_at = sim.now(); });
+  sim.run_for(1.0);
+  EXPECT_NEAR(done_at, 0.101, 1e-9);
+  EXPECT_NEAR(sim.busy_seconds(1), 0.1, 1e-9);
+  EXPECT_EQ(sim.cores(1), 2);
+}
+
+TEST(SimCluster, TrafficCountersCoverControlPlane) {
+  sim::SimCluster sim(quiet_config());
+  auto a = std::make_unique<RecorderNode>();
+  RecorderNode* ra = a.get();
+  sim.add_node(1, std::move(a));
+  sim.add_node(2, std::make_unique<RecorderNode>());
+  sim.start_all();
+  sim.run_for(0.001);
+  ra->ctx_->send(2, Envelope::of(GossipSyn{}));       // accounted
+  ra->ctx_->send(2, Envelope::of(MatchRequest{}));    // data plane: bytes not
+  sim.run_for(0.01);
+  EXPECT_EQ(sim.traffic(1).msgs_sent, 2u);
+  EXPECT_EQ(sim.traffic(2).msgs_received, 2u);
+  EXPECT_GT(sim.traffic(1).bytes_sent, 0u);
+  EXPECT_EQ(sim.traffic(1).bytes_sent, sim.traffic(2).bytes_received);
+}
+
+TEST(SimCluster, SendToUnknownNodeIsDropped) {
+  sim::SimCluster sim(quiet_config());
+  auto a = std::make_unique<RecorderNode>();
+  RecorderNode* ra = a.get();
+  sim.add_node(1, std::move(a));
+  sim.start_all();
+  sim.run_for(0.001);
+  ra->ctx_->send(99, Envelope::of(JoinRequest{}));
+  sim.run_for(0.01);
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+}
+
+TEST(SimCluster, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::SimConfig cfg;
+    cfg.seed = 77;
+    sim::SimCluster sim(cfg);
+    auto a = std::make_unique<RecorderNode>();
+    RecorderNode* ra = a.get();
+    sim.add_node(1, std::move(a));
+    auto b = std::make_unique<RecorderNode>();
+    RecorderNode* rb = b.get();
+    sim.add_node(2, std::move(b));
+    sim.start_all();
+    sim.run_for(0.001);
+    for (int i = 0; i < 50; ++i) ra->ctx_->send(2, Envelope::of(JoinRequest{}));
+    sim.run_for(1.0);
+    std::vector<double> times;
+    for (const auto& rx : rb->received) times.push_back(rx.at);
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bluedove

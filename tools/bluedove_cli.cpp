@@ -1,0 +1,216 @@
+// bluedove_cli — run BlueDove experiments from the command line.
+//
+// Subcommands:
+//   saturate   find the saturation message rate of a configuration
+//   run        steady-state run at a fixed rate; prints rt / load / loss
+//   crash      fault-injection run (kill matchers periodically)
+//   scale      elasticity run (auto-scaler on, rising rate)
+//
+// Common options (defaults mirror the paper's §IV-B setup, scaled):
+//   --system=bluedove|p2p|full-rep     --matchers=N        --dispatchers=N
+//   --subs=N          --dims=K         --sigma=S           --width=W
+//   --policy=adaptive|response-time|sub-count|random
+//   --index=linear-scan|bucket|interval-tree
+//   --msg-skew=J      --seed=N         --reliable          --cores=N
+//
+// Examples:
+//   bluedove_cli saturate --system=p2p --matchers=10
+//   bluedove_cli run --rate=20000 --duration=60
+//   bluedove_cli crash --rate=10000 --kill-every=60 --kills=4
+//   bluedove_cli scale --step=500 --step-secs=30 --steps=12
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "harness/experiment.h"
+
+using namespace bluedove;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bluedove_cli <saturate|run|crash|scale> [--options]\n"
+               "see the header of tools/bluedove_cli.cpp for the full list\n");
+  return 2;
+}
+
+ExperimentConfig config_from(const CliArgs& args) {
+  ExperimentConfig cfg;
+  const std::string system = args.get("system", "bluedove");
+  if (system == "p2p") {
+    cfg.system = SystemKind::kP2P;
+  } else if (system == "full-rep") {
+    cfg.system = SystemKind::kFullReplication;
+  } else {
+    cfg.system = SystemKind::kBlueDove;
+  }
+  cfg.matchers = static_cast<std::size_t>(args.get_int("matchers", 20));
+  cfg.dispatchers = static_cast<std::size_t>(args.get_int("dispatchers", 2));
+  cfg.subscriptions = static_cast<std::size_t>(args.get_int("subs", 8000));
+  cfg.dims = static_cast<std::size_t>(args.get_int("dims", 4));
+  cfg.sub_sigma = args.get_double("sigma", 250.0);
+  cfg.predicate_width = args.get_double("width", 250.0);
+  cfg.msg_skewed_dims =
+      static_cast<std::size_t>(args.get_int("msg-skew", 0));
+  cfg.cores = static_cast<int>(args.get_int("cores", 4));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  cfg.reliable_delivery = args.get_bool("reliable", false);
+  cfg.searchable_dims =
+      static_cast<std::size_t>(args.get_int("searchable-dims", 0));
+
+  const std::string policy = args.get("policy", "adaptive");
+  if (policy == "random") {
+    cfg.policy = PolicyKind::kRandom;
+  } else if (policy == "sub-count") {
+    cfg.policy = PolicyKind::kSubscriptionCount;
+  } else if (policy == "response-time") {
+    cfg.policy = PolicyKind::kResponseTime;
+  } else {
+    cfg.policy = PolicyKind::kAdaptive;
+  }
+
+  const std::string index = args.get("index", "linear-scan");
+  if (index == "bucket") {
+    cfg.index_kind = IndexKind::kBucket;
+  } else if (index == "interval-tree") {
+    cfg.index_kind = IndexKind::kIntervalTree;
+  } else {
+    cfg.index_kind = IndexKind::kLinearScan;
+  }
+  return cfg;
+}
+
+void print_window(Deployment& dep, Timestamp t0) {
+  const OnlineStats w = dep.responses().window();
+  std::size_t alive = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    if (dep.sim().alive(id)) ++alive;
+  }
+  std::printf("t=%7.1fs rt=%9.2fms p99(run)=%9.2fms backlog=%8zu "
+              "completed=%10llu alive=%zu\n",
+              dep.now() - t0, w.mean() * 1e3,
+              dep.responses().quantile(0.99) * 1e3, dep.backlog(),
+              (unsigned long long)dep.completed(), alive);
+}
+
+int cmd_saturate(const CliArgs& args) {
+  ExperimentConfig cfg = config_from(args);
+  Deployment dep(cfg);
+  dep.start();
+  Deployment::ProbeOptions probe;
+  probe.start_rate = args.get_double("start-rate", 2000.0);
+  probe.growth = args.get_double("growth", 1.7);
+  probe.warmup = args.get_double("warmup", 2.0);
+  probe.measure = args.get_double("measure", 6.0);
+  probe.refine_steps = static_cast<int>(args.get_int("refine", 3));
+  const double sat = dep.find_saturation_rate(probe);
+  std::printf("%s matchers=%zu subs=%zu policy=%s -> saturation %.0f msg/s\n",
+              to_string(cfg.system), cfg.matchers, cfg.subscriptions,
+              to_string(cfg.policy), sat);
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  ExperimentConfig cfg = config_from(args);
+  const double rate = args.get_double("rate", 10000.0);
+  const double duration = args.get_double("duration", 60.0);
+  Deployment dep(cfg);
+  dep.start();
+  dep.set_rate(rate);
+  const Timestamp t0 = dep.now();
+  const int ticks = static_cast<int>(duration / 5.0);
+  for (int i = 0; i < ticks; ++i) {
+    dep.run_for(5.0);
+    print_window(dep, t0);
+  }
+  dep.sample_loads();
+  dep.run_for(10.0);
+  dep.sample_loads();
+  const OnlineStats loads = dep.loads().distribution(dep.matcher_ids());
+  std::printf("\nCPU load: mean=%.1f%% normalized stdev=%.2f\n",
+              100.0 * loads.mean(), loads.normalized_stdev());
+  return 0;
+}
+
+int cmd_crash(const CliArgs& args) {
+  ExperimentConfig cfg = config_from(args);
+  const double rate = args.get_double("rate", 10000.0);
+  const double kill_every = args.get_double("kill-every", 60.0);
+  const int kills = static_cast<int>(args.get_int("kills", 4));
+  Deployment dep(cfg);
+  dep.start();
+  dep.set_rate(rate);
+  dep.run_for(10.0);
+  const Timestamp t0 = dep.now();
+  for (int k = 0; k < kills; ++k) {
+    const NodeId victim =
+        dep.matcher_ids()[static_cast<std::size_t>(k) %
+                          dep.matcher_ids().size()];
+    if (dep.sim().alive(victim)) {
+      dep.kill_matcher(victim);
+      std::printf("-- killed matcher %u at t=%.0fs\n", victim,
+                  dep.now() - t0);
+    }
+    const int ticks = static_cast<int>(kill_every / 5.0);
+    for (int i = 0; i < ticks; ++i) {
+      dep.run_for(5.0);
+      print_window(dep, t0);
+    }
+  }
+  std::printf("\nmessages lost to dead matchers: %llu of %llu\n",
+              (unsigned long long)dep.sim().lost_match_requests(),
+              (unsigned long long)dep.published());
+  return 0;
+}
+
+int cmd_scale(const CliArgs& args) {
+  ExperimentConfig cfg = config_from(args);
+  cfg.auto_scale = true;
+  cfg.table_pull_interval = 5.0;
+  const double step = args.get_double("step", 500.0);
+  const double step_secs = args.get_double("step-secs", 30.0);
+  const int steps = static_cast<int>(args.get_int("steps", 12));
+  Deployment dep(cfg);
+  dep.start();
+  double rate = step;
+  dep.set_rate(rate);
+  const Timestamp t0 = dep.now();
+  for (int s = 0; s < steps; ++s) {
+    const int ticks = static_cast<int>(step_secs / 5.0);
+    for (int i = 0; i < ticks; ++i) {
+      dep.run_for(5.0);
+      print_window(dep, t0);
+    }
+    rate += step;
+    dep.set_rate(rate);
+    std::printf("-- rate now %.0f msg/s\n", rate);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  if (args.positional().size() != 1) return usage();
+  const std::string cmd = args.positional()[0];
+  int rc;
+  if (cmd == "saturate") {
+    rc = cmd_saturate(args);
+  } else if (cmd == "run") {
+    rc = cmd_run(args);
+  } else if (cmd == "crash") {
+    rc = cmd_crash(args);
+  } else if (cmd == "scale") {
+    rc = cmd_scale(args);
+  } else {
+    return usage();
+  }
+  for (const std::string& key : args.unconsumed()) {
+    std::fprintf(stderr, "warning: unknown option --%s ignored\n",
+                 key.c_str());
+  }
+  return rc;
+}

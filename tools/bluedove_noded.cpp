@@ -1,0 +1,154 @@
+// bluedove_noded — run one BlueDove server as an OS process, talking real
+// TCP to its peers. Lets a cluster be deployed as N processes (or hosts).
+//
+//   --role=matcher|dispatcher|sink   what this process is
+//   --id=N                           this node's id
+//   --port=P                         listen port (default 7000+id)
+//   --peers=id@host:port,...         address directory for the other nodes
+//   --cluster=id,id,...              matcher ids in segment order (bootstrap)
+//   --dispatchers=id,...             dispatcher ids (matchers report to them)
+//   --sink=id                        delivery/metrics sink node id
+//   --dims=K --domain=L              schema (default 4 x [0,1000))
+//
+// Example 3-matcher cluster on one machine:
+//   bluedove_noded --role=sink       --id=2    --port=7002 &
+//   bluedove_noded --role=dispatcher --id=10   --port=7010 \
+//       --cluster=1000,1001,1002 --peers=1000@127.0.0.1:8000,... &
+//   bluedove_noded --role=matcher    --id=1000 --port=8000 \
+//       --cluster=1000,1001,1002 --dispatchers=10 --sink=2 --peers=... &
+//   ... then publish with any TCP client that speaks the frame format
+//   (tests/test_tcp.cpp shows one).
+
+#include <csignal>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/cli.h"
+#include "net/tcp_transport.h"
+#include "node/dispatcher_node.h"
+#include "node/matcher_node.h"
+
+using namespace bluedove;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+std::vector<NodeId> parse_ids(const std::string& csv) {
+  std::vector<NodeId> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<NodeId>(std::stoul(item)));
+  }
+  return out;
+}
+
+/// "id@host:port,id@host:port" -> directory.
+std::map<NodeId, net::TcpEndpoint> parse_peers(const std::string& csv) {
+  std::map<NodeId, net::TcpEndpoint> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto at = item.find('@');
+    const auto colon = item.rfind(':');
+    if (at == std::string::npos || colon == std::string::npos ||
+        colon < at) {
+      continue;
+    }
+    const auto id = static_cast<NodeId>(std::stoul(item.substr(0, at)));
+    net::TcpEndpoint ep;
+    ep.host = item.substr(at + 1, colon - at - 1);
+    ep.port = static_cast<std::uint16_t>(
+        std::stoul(item.substr(colon + 1)));
+    out[id] = ep;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const std::string role = args.get("role", "");
+  const auto id = static_cast<NodeId>(args.get_int("id", 0));
+  if (role.empty() || id == 0) {
+    std::fprintf(stderr,
+                 "usage: bluedove_noded --role=matcher|dispatcher|sink "
+                 "--id=N [--port=P] [--peers=...] [--cluster=...]\n");
+    return 2;
+  }
+  const auto port =
+      static_cast<std::uint16_t>(args.get_int("port", 7000 + id % 1000));
+  const auto dims = static_cast<std::size_t>(args.get_int("dims", 4));
+  const double domain_len = args.get_double("domain", 1000.0);
+  const std::vector<Range> domains(dims, Range{0, domain_len});
+  const std::vector<NodeId> cluster = parse_ids(args.get("cluster", ""));
+  const std::vector<NodeId> dispatchers =
+      parse_ids(args.get("dispatchers", ""));
+  const auto sink = static_cast<NodeId>(args.get_int("sink", 0));
+
+  std::unique_ptr<Node> node;
+  if (role == "matcher") {
+    MatcherConfig cfg;
+    cfg.domains = domains;
+    cfg.cores = static_cast<int>(args.get_int("cores", 4));
+    cfg.index_kind = IndexKind::kBucket;
+    cfg.dispatchers = dispatchers;
+    cfg.metrics_sink = sink != 0 ? sink : kInvalidNode;
+    cfg.delivery_sink = sink != 0 ? sink : kInvalidNode;
+    auto matcher = std::make_unique<MatcherNode>(id, cfg);
+    if (!cluster.empty()) {
+      matcher->set_bootstrap(bootstrap_table(cluster, domains));
+    }
+    node = std::move(matcher);
+  } else if (role == "dispatcher") {
+    DispatcherConfig cfg;
+    cfg.domains = domains;
+    cfg.reliable_delivery = args.get_bool("reliable", false);
+    auto dispatcher = std::make_unique<DispatcherNode>(id, cfg);
+    if (!cluster.empty()) {
+      dispatcher->set_bootstrap(bootstrap_table(cluster, domains));
+    }
+    node = std::move(dispatcher);
+  } else if (role == "sink") {
+    node = std::make_unique<FunctionNode>(
+        [](NodeId, const Envelope& env, Timestamp) {
+          if (const auto* d = std::get_if<Delivery>(&env.payload)) {
+            std::printf("delivery: msg=%llu sub=%llu subscriber=%llu\n",
+                        (unsigned long long)d->msg_id,
+                        (unsigned long long)d->sub_id,
+                        (unsigned long long)d->subscriber);
+            std::fflush(stdout);
+          }
+        });
+  } else {
+    std::fprintf(stderr, "unknown role '%s'\n", role.c_str());
+    return 2;
+  }
+
+  net::TcpHost host(id, port, std::move(node),
+                    static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  if (host.port() == 0) {
+    std::fprintf(stderr, "failed to bind port %u\n", port);
+    return 1;
+  }
+  for (const auto& [peer, ep] : parse_peers(args.get("peers", ""))) {
+    host.add_peer(peer, ep);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  host.start();
+  std::printf("bluedove_noded role=%s id=%u listening on 127.0.0.1:%u\n",
+              role.c_str(), id, host.port());
+  std::fflush(stdout);
+  while (!g_stop) {
+    struct timespec ts{0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  host.stop();
+  return 0;
+}

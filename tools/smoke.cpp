@@ -1,0 +1,55 @@
+// Development smoke driver: exercises a small deployment of each system and
+// prints sanity numbers. Not part of the test suite (tests/ has the real
+// coverage); kept for quick manual inspection during development.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace bluedove;
+
+int main() {
+  // 1. Full-matching correctness pass on a small BlueDove cluster.
+  {
+    ExperimentConfig cfg;
+    cfg.system = SystemKind::kBlueDove;
+    cfg.matchers = 5;
+    cfg.subscriptions = 2000;
+    cfg.full_matching = true;
+    cfg.seed = 7;
+    Deployment dep(cfg);
+    std::uint64_t deliveries = 0;
+    dep.on_delivery = [&](const Delivery&, Timestamp) { ++deliveries; };
+    dep.start();
+    dep.set_rate(200.0);
+    dep.run_for(10.0);
+    dep.set_rate(0.0);
+    dep.run_for(2.0);
+    std::printf(
+        "[full-match] published=%llu completed=%llu deliveries=%llu "
+        "mean_rt=%.2fms p99=%.2fms backlog=%zu\n",
+        (unsigned long long)dep.published(),
+        (unsigned long long)dep.completed(),
+        (unsigned long long)deliveries, dep.responses().overall().mean() * 1e3,
+        dep.responses().quantile(0.99) * 1e3, dep.backlog());
+  }
+
+  // 2. Saturation probe for each system at N=10, cost-only mode.
+  for (SystemKind system : {SystemKind::kBlueDove, SystemKind::kP2P,
+                            SystemKind::kFullReplication}) {
+    ExperimentConfig cfg;
+    cfg.system = system;
+    cfg.matchers = 10;
+    cfg.subscriptions = 4000;
+    cfg.seed = 7;
+    Deployment dep(cfg);
+    dep.start();
+    Deployment::ProbeOptions probe;
+    probe.warmup = 2.0;
+    probe.measure = 5.0;
+    const double sat = dep.find_saturation_rate(probe);
+    std::printf("[saturation] %-10s N=10 subs=4000 -> %.0f msg/s\n",
+                to_string(system), sat);
+  }
+  return 0;
+}
