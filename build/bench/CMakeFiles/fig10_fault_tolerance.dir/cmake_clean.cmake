@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fault_tolerance.dir/fig10_fault_tolerance.cpp.o"
+  "CMakeFiles/fig10_fault_tolerance.dir/fig10_fault_tolerance.cpp.o.d"
+  "fig10_fault_tolerance"
+  "fig10_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

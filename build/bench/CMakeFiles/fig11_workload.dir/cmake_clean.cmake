@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_workload.dir/fig11_workload.cpp.o"
+  "CMakeFiles/fig11_workload.dir/fig11_workload.cpp.o.d"
+  "fig11_workload"
+  "fig11_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_saturation.dir/fig5_saturation.cpp.o"
+  "CMakeFiles/fig5_saturation.dir/fig5_saturation.cpp.o.d"
+  "fig5_saturation"
+  "fig5_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

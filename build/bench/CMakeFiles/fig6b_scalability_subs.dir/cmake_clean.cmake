@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_scalability_subs.dir/fig6b_scalability_subs.cpp.o"
+  "CMakeFiles/fig6b_scalability_subs.dir/fig6b_scalability_subs.cpp.o.d"
+  "fig6b_scalability_subs"
+  "fig6b_scalability_subs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_scalability_subs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

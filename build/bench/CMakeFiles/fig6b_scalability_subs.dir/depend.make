@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6b_scalability_subs.
+# This may be replaced when dependencies are built.

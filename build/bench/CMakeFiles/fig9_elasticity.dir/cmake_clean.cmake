@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_elasticity.dir/fig9_elasticity.cpp.o"
+  "CMakeFiles/fig9_elasticity.dir/fig9_elasticity.cpp.o.d"
+  "fig9_elasticity"
+  "fig9_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/overhead_table.cpp" "bench/CMakeFiles/overhead_table.dir/overhead_table.cpp.o" "gcc" "bench/CMakeFiles/overhead_table.dir/overhead_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bluedove_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/bluedove_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bluedove_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bluedove_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/bluedove_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bluedove_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bluedove_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bluedove_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bluedove_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bluedove_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/bluedove_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bluedove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_cloud.dir/elastic_cloud.cpp.o"
+  "CMakeFiles/elastic_cloud.dir/elastic_cloud.cpp.o.d"
+  "elastic_cloud"
+  "elastic_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("attr")
+subdirs("index")
+subdirs("net")
+subdirs("sim")
+subdirs("gossip")
+subdirs("runtime")
+subdirs("core")
+subdirs("node")
+subdirs("baseline")
+subdirs("workload")
+subdirs("metrics")
+subdirs("harness")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_attr.dir/schema.cpp.o"
+  "CMakeFiles/bluedove_attr.dir/schema.cpp.o.d"
+  "CMakeFiles/bluedove_attr.dir/serialize.cpp.o"
+  "CMakeFiles/bluedove_attr.dir/serialize.cpp.o.d"
+  "libbluedove_attr.a"
+  "libbluedove_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

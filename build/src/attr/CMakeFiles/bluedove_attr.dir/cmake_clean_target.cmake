@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbluedove_attr.a"
+)

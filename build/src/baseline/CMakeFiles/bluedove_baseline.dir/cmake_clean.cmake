@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_baseline.dir/full_replication.cpp.o"
+  "CMakeFiles/bluedove_baseline.dir/full_replication.cpp.o.d"
+  "CMakeFiles/bluedove_baseline.dir/single_dim_partition.cpp.o"
+  "CMakeFiles/bluedove_baseline.dir/single_dim_partition.cpp.o.d"
+  "libbluedove_baseline.a"
+  "libbluedove_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

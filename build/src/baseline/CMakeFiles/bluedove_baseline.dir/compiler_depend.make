@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bluedove_baseline.
+# This may be replaced when dependencies are built.

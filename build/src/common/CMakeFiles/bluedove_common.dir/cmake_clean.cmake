@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_common.dir/cli.cpp.o"
+  "CMakeFiles/bluedove_common.dir/cli.cpp.o.d"
+  "CMakeFiles/bluedove_common.dir/logging.cpp.o"
+  "CMakeFiles/bluedove_common.dir/logging.cpp.o.d"
+  "CMakeFiles/bluedove_common.dir/stats.cpp.o"
+  "CMakeFiles/bluedove_common.dir/stats.cpp.o.d"
+  "libbluedove_common.a"
+  "libbluedove_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dimension_selector.cpp" "src/core/CMakeFiles/bluedove_core.dir/dimension_selector.cpp.o" "gcc" "src/core/CMakeFiles/bluedove_core.dir/dimension_selector.cpp.o.d"
+  "/root/repo/src/core/forwarding_policy.cpp" "src/core/CMakeFiles/bluedove_core.dir/forwarding_policy.cpp.o" "gcc" "src/core/CMakeFiles/bluedove_core.dir/forwarding_policy.cpp.o.d"
+  "/root/repo/src/core/partition_strategy.cpp" "src/core/CMakeFiles/bluedove_core.dir/partition_strategy.cpp.o" "gcc" "src/core/CMakeFiles/bluedove_core.dir/partition_strategy.cpp.o.d"
+  "/root/repo/src/core/segment_view.cpp" "src/core/CMakeFiles/bluedove_core.dir/segment_view.cpp.o" "gcc" "src/core/CMakeFiles/bluedove_core.dir/segment_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/bluedove_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bluedove_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/bluedove_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/bluedove_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bluedove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

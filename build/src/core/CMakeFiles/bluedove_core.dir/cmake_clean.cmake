@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_core.dir/dimension_selector.cpp.o"
+  "CMakeFiles/bluedove_core.dir/dimension_selector.cpp.o.d"
+  "CMakeFiles/bluedove_core.dir/forwarding_policy.cpp.o"
+  "CMakeFiles/bluedove_core.dir/forwarding_policy.cpp.o.d"
+  "CMakeFiles/bluedove_core.dir/partition_strategy.cpp.o"
+  "CMakeFiles/bluedove_core.dir/partition_strategy.cpp.o.d"
+  "CMakeFiles/bluedove_core.dir/segment_view.cpp.o"
+  "CMakeFiles/bluedove_core.dir/segment_view.cpp.o.d"
+  "libbluedove_core.a"
+  "libbluedove_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_service.dir/service.cpp.o"
+  "CMakeFiles/bluedove_service.dir/service.cpp.o.d"
+  "libbluedove_service.a"
+  "libbluedove_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

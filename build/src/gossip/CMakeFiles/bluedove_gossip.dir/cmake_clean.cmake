@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_gossip.dir/failure_detector.cpp.o"
+  "CMakeFiles/bluedove_gossip.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/bluedove_gossip.dir/gossiper.cpp.o"
+  "CMakeFiles/bluedove_gossip.dir/gossiper.cpp.o.d"
+  "libbluedove_gossip.a"
+  "libbluedove_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

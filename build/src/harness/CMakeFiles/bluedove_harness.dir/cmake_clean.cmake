@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_harness.dir/experiment.cpp.o"
+  "CMakeFiles/bluedove_harness.dir/experiment.cpp.o.d"
+  "libbluedove_harness.a"
+  "libbluedove_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bucket_index.cpp" "src/index/CMakeFiles/bluedove_index.dir/bucket_index.cpp.o" "gcc" "src/index/CMakeFiles/bluedove_index.dir/bucket_index.cpp.o.d"
+  "/root/repo/src/index/index_factory.cpp" "src/index/CMakeFiles/bluedove_index.dir/index_factory.cpp.o" "gcc" "src/index/CMakeFiles/bluedove_index.dir/index_factory.cpp.o.d"
+  "/root/repo/src/index/interval_tree_index.cpp" "src/index/CMakeFiles/bluedove_index.dir/interval_tree_index.cpp.o" "gcc" "src/index/CMakeFiles/bluedove_index.dir/interval_tree_index.cpp.o.d"
+  "/root/repo/src/index/linear_scan_index.cpp" "src/index/CMakeFiles/bluedove_index.dir/linear_scan_index.cpp.o" "gcc" "src/index/CMakeFiles/bluedove_index.dir/linear_scan_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attr/CMakeFiles/bluedove_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bluedove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

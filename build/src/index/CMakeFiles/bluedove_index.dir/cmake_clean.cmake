@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_index.dir/bucket_index.cpp.o"
+  "CMakeFiles/bluedove_index.dir/bucket_index.cpp.o.d"
+  "CMakeFiles/bluedove_index.dir/index_factory.cpp.o"
+  "CMakeFiles/bluedove_index.dir/index_factory.cpp.o.d"
+  "CMakeFiles/bluedove_index.dir/interval_tree_index.cpp.o"
+  "CMakeFiles/bluedove_index.dir/interval_tree_index.cpp.o.d"
+  "CMakeFiles/bluedove_index.dir/linear_scan_index.cpp.o"
+  "CMakeFiles/bluedove_index.dir/linear_scan_index.cpp.o.d"
+  "libbluedove_index.a"
+  "libbluedove_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/load_monitor.cpp" "src/metrics/CMakeFiles/bluedove_metrics.dir/load_monitor.cpp.o" "gcc" "src/metrics/CMakeFiles/bluedove_metrics.dir/load_monitor.cpp.o.d"
+  "/root/repo/src/metrics/loss_tracker.cpp" "src/metrics/CMakeFiles/bluedove_metrics.dir/loss_tracker.cpp.o" "gcc" "src/metrics/CMakeFiles/bluedove_metrics.dir/loss_tracker.cpp.o.d"
+  "/root/repo/src/metrics/response_tracker.cpp" "src/metrics/CMakeFiles/bluedove_metrics.dir/response_tracker.cpp.o" "gcc" "src/metrics/CMakeFiles/bluedove_metrics.dir/response_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bluedove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

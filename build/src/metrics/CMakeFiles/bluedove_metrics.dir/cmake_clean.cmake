@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_metrics.dir/load_monitor.cpp.o"
+  "CMakeFiles/bluedove_metrics.dir/load_monitor.cpp.o.d"
+  "CMakeFiles/bluedove_metrics.dir/loss_tracker.cpp.o"
+  "CMakeFiles/bluedove_metrics.dir/loss_tracker.cpp.o.d"
+  "CMakeFiles/bluedove_metrics.dir/response_tracker.cpp.o"
+  "CMakeFiles/bluedove_metrics.dir/response_tracker.cpp.o.d"
+  "libbluedove_metrics.a"
+  "libbluedove_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster_table.cpp" "src/net/CMakeFiles/bluedove_net.dir/cluster_table.cpp.o" "gcc" "src/net/CMakeFiles/bluedove_net.dir/cluster_table.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/net/CMakeFiles/bluedove_net.dir/protocol.cpp.o" "gcc" "src/net/CMakeFiles/bluedove_net.dir/protocol.cpp.o.d"
+  "/root/repo/src/net/tcp_client.cpp" "src/net/CMakeFiles/bluedove_net.dir/tcp_client.cpp.o" "gcc" "src/net/CMakeFiles/bluedove_net.dir/tcp_client.cpp.o.d"
+  "/root/repo/src/net/tcp_transport.cpp" "src/net/CMakeFiles/bluedove_net.dir/tcp_transport.cpp.o" "gcc" "src/net/CMakeFiles/bluedove_net.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attr/CMakeFiles/bluedove_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bluedove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

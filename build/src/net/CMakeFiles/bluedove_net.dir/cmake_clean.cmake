@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_net.dir/cluster_table.cpp.o"
+  "CMakeFiles/bluedove_net.dir/cluster_table.cpp.o.d"
+  "CMakeFiles/bluedove_net.dir/protocol.cpp.o"
+  "CMakeFiles/bluedove_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/bluedove_net.dir/tcp_client.cpp.o"
+  "CMakeFiles/bluedove_net.dir/tcp_client.cpp.o.d"
+  "CMakeFiles/bluedove_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/bluedove_net.dir/tcp_transport.cpp.o.d"
+  "libbluedove_net.a"
+  "libbluedove_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

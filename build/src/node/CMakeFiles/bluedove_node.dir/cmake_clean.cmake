@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_node.dir/dispatcher_node.cpp.o"
+  "CMakeFiles/bluedove_node.dir/dispatcher_node.cpp.o.d"
+  "CMakeFiles/bluedove_node.dir/matcher_node.cpp.o"
+  "CMakeFiles/bluedove_node.dir/matcher_node.cpp.o.d"
+  "libbluedove_node.a"
+  "libbluedove_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_runtime.dir/thread_cluster.cpp.o"
+  "CMakeFiles/bluedove_runtime.dir/thread_cluster.cpp.o.d"
+  "libbluedove_runtime.a"
+  "libbluedove_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bluedove_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/bluedove_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/bluedove_sim.dir/sim_cluster.cpp.o"
+  "CMakeFiles/bluedove_sim.dir/sim_cluster.cpp.o.d"
+  "libbluedove_sim.a"
+  "libbluedove_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_workload.dir/distributions.cpp.o"
+  "CMakeFiles/bluedove_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/bluedove_workload.dir/generators.cpp.o"
+  "CMakeFiles/bluedove_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/bluedove_workload.dir/trace.cpp.o"
+  "CMakeFiles/bluedove_workload.dir/trace.cpp.o.d"
+  "libbluedove_workload.a"
+  "libbluedove_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

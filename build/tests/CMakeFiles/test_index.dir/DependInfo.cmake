@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_index.cpp" "tests/CMakeFiles/test_index.dir/test_index.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/test_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/bluedove_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bluedove_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/bluedove_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bluedove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_cli.dir/bluedove_cli.cpp.o"
+  "CMakeFiles/bluedove_cli.dir/bluedove_cli.cpp.o.d"
+  "bluedove_cli"
+  "bluedove_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

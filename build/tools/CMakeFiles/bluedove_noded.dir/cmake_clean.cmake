@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluedove_noded.dir/bluedove_noded.cpp.o"
+  "CMakeFiles/bluedove_noded.dir/bluedove_noded.cpp.o.d"
+  "bluedove_noded"
+  "bluedove_noded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluedove_noded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
