@@ -18,8 +18,10 @@ IndexKind kind_of(int arg) {
       return IndexKind::kLinearScan;
     case 1:
       return IndexKind::kBucket;
-    default:
+    case 2:
       return IndexKind::kIntervalTree;
+    default:
+      return IndexKind::kFlatBucket;
   }
 }
 
@@ -45,12 +47,12 @@ void BM_IndexMatch(benchmark::State& state) {
   MessageWorkload mwl;
   mwl.schema = schema;
   MessageGenerator mgen(mwl, 7);
-  std::vector<SubPtr> out;
+  std::vector<MatchHit> out;
   WorkCounter wc;
   for (auto _ : state) {
     out.clear();
     Message msg = mgen.next();
-    index->match(msg, out, wc);
+    index->match_hits(msg, out, wc);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetLabel(to_string(kind));
@@ -58,7 +60,43 @@ void BM_IndexMatch(benchmark::State& state) {
       benchmark::Counter(wc.total() / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_IndexMatch)
-    ->ArgsProduct({{0, 1, 2}, {1000, 10000, 40000}})
+    ->ArgsProduct({{0, 1, 2, 3}, {1000, 10000, 40000}})
+    ->Unit(benchmark::kMicrosecond);
+
+// The SoA ablation (DESIGN.md / EXPERIMENTS.md): flat-bucket vs bucket on
+// the paper's 4-dim uniform workload at 10k-1M subscriptions. Linear scan
+// and the interval tree are omitted above 40k; they are not competitive.
+BENCHMARK(BM_IndexMatch)
+    ->ArgsProduct({{1, 3}, {100000, 1000000}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IndexMatchBatch(benchmark::State& state) {
+  const IndexKind kind = kind_of(static_cast<int>(state.range(0)));
+  const auto subs = static_cast<std::size_t>(state.range(1));
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  auto index = build_index(kind, subs);
+
+  const AttributeSchema schema = AttributeSchema::uniform(4);
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 7);
+  std::vector<Message> msgs;
+  for (std::size_t i = 0; i < batch; ++i) msgs.push_back(mgen.next());
+  std::vector<MatchHit> hits;
+  std::vector<std::uint32_t> offsets;
+  WorkCounter wc;
+  for (auto _ : state) {
+    hits.clear();
+    offsets.clear();
+    index->match_batch(msgs, hits, offsets, wc);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetLabel(to_string(kind));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_IndexMatchBatch)
+    ->ArgsProduct({{1, 3}, {100000}, {1, 16, 64}})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_IndexInsert(benchmark::State& state) {
@@ -78,7 +116,7 @@ void BM_IndexInsert(benchmark::State& state) {
   }
   state.SetLabel(to_string(kind));
 }
-BENCHMARK(BM_IndexInsert)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_IndexInsert)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_IndexErase(benchmark::State& state) {
   const IndexKind kind = kind_of(static_cast<int>(state.range(0)));
@@ -90,7 +128,7 @@ void BM_IndexErase(benchmark::State& state) {
   }
   state.SetLabel(to_string(kind));
 }
-BENCHMARK(BM_IndexErase)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_IndexErase)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_FullMatchPredicate(benchmark::State& state) {
   const AttributeSchema schema = AttributeSchema::uniform(4);

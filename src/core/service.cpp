@@ -149,6 +149,7 @@ class Service::Impl {
     }
     cfg.cores = config_.matcher_cores;
     cfg.index_kind = config_.index;
+    cfg.match_batch = config_.match_batch;
     cfg.match_mode = MatcherConfig::MatchMode::kFull;
     cfg.load_report_interval = config_.load_report_interval;
     cfg.gossip.round_interval = config_.gossip_interval;

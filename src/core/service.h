@@ -45,6 +45,10 @@ struct ServiceConfig {
 
   PolicyKind policy = PolicyKind::kAdaptive;
   IndexKind index = IndexKind::kBucket;
+  /// Requests one matcher core drains from a dimension queue per service
+  /// (batched probe through SubscriptionIndex::match_batch; 1 = strict
+  /// per-message service).
+  int match_batch = 1;
 
   // In-process control-plane cadence (much faster than a real datacenter's
   // 1 s / 10 s, so the embedded cluster converges quickly).

@@ -69,6 +69,7 @@ MatcherConfig Deployment::matcher_config() const {
   }
   cfg.cores = config_.cores;
   cfg.index_kind = config_.index_kind;
+  cfg.match_batch = config_.match_batch;
   cfg.match_mode = config_.full_matching ? MatcherConfig::MatchMode::kFull
                                          : MatcherConfig::MatchMode::kCostOnly;
   cfg.load_report_interval = config_.load_report_interval;

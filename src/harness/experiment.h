@@ -51,6 +51,9 @@ struct ExperimentConfig {
 
   // Matching engine / mode.
   IndexKind index_kind = IndexKind::kLinearScan;
+  /// Requests one matcher core drains from a dimension queue per service
+  /// (batched probe; 1 = strict per-message service).
+  int match_batch = 1;
   /// Full matching computes real match sets and deliveries; cost-only mode
   /// charges identical work but skips the match computation, making
   /// saturation probes fast. Response-time dynamics are the same.

@@ -1,0 +1,197 @@
+#include "index/flat_bucket_index.h"
+
+#include <algorithm>
+
+namespace bluedove {
+
+FlatBucketIndex::FlatBucketIndex(DimId pivot, Range domain,
+                                 std::shared_ptr<SubscriptionStore> store,
+                                 std::size_t buckets)
+    : pivot_(pivot),
+      domain_(domain),
+      store_(store ? std::move(store) : std::make_shared<SubscriptionStore>()),
+      buckets_(std::max<std::size_t>(buckets, 1)) {}
+
+std::size_t FlatBucketIndex::bucket_of(Value v) const {
+  if (domain_.width() <= 0.0) return 0;
+  const double frac = (v - domain_.lo) / domain_.width();
+  const auto n = static_cast<double>(buckets_.size());
+  const auto idx = static_cast<long long>(frac * n);
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long long>(buckets_.size())) return buckets_.size() - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+std::pair<std::size_t, std::size_t> FlatBucketIndex::span_of(
+    const Range& r) const {
+  const std::size_t first = bucket_of(r.lo);
+  // hi is exclusive; nudge inside the range so an exact bucket boundary does
+  // not register the subscription one bucket too far.
+  const Value inside_hi = std::max(r.lo, r.hi - 1e-12 * std::max(1.0, r.hi));
+  const std::size_t last = bucket_of(inside_hi);
+  return {first, std::max(first, last)};
+}
+
+void FlatBucketIndex::bucket_insert(Bucket& b, Slot slot,
+                                    const Subscription& sub) {
+  if (sub.dimensions() != columns_) {
+    b.irregular.push_back(slot);
+    return;
+  }
+  if (b.lo.size() != columns_) {
+    b.lo.resize(columns_);
+    b.hi.resize(columns_);
+  }
+  b.slots.push_back(slot);
+  for (std::size_t d = 0; d < columns_; ++d) {
+    b.lo[d].push_back(sub.ranges[d].lo);
+    b.hi[d].push_back(sub.ranges[d].hi);
+  }
+}
+
+void FlatBucketIndex::bucket_erase(Bucket& b, Slot slot) {
+  for (std::size_t i = 0; i < b.slots.size(); ++i) {
+    if (b.slots[i] != slot) continue;
+    const std::size_t last = b.slots.size() - 1;
+    b.slots[i] = b.slots[last];
+    b.slots.pop_back();
+    for (std::size_t d = 0; d < b.lo.size(); ++d) {
+      b.lo[d][i] = b.lo[d][last];
+      b.lo[d].pop_back();
+      b.hi[d][i] = b.hi[d][last];
+      b.hi[d].pop_back();
+    }
+    return;
+  }
+  const auto it = std::find(b.irregular.begin(), b.irregular.end(), slot);
+  if (it != b.irregular.end()) {
+    *it = b.irregular.back();
+    b.irregular.pop_back();
+  }
+}
+
+// A subscription without a pivot predicate (fewer dimensions than the
+// pivot) can never match a message that has one; park it in bucket 0 so
+// insert/erase stay symmetric without indexing past its ranges.
+std::pair<std::size_t, std::size_t> FlatBucketIndex::span_of_sub(
+    const Subscription& sub) const {
+  if (pivot_ >= sub.dimensions()) return {0, 0};
+  return span_of(sub.range(pivot_));
+}
+
+void FlatBucketIndex::insert(SubPtr sub) {
+  if (local_.count(sub->id) != 0) return;  // dedup; matcher guards this too
+  if (columns_ == 0) columns_ = sub->dimensions();
+  const Slot slot = store_->acquire(*sub);
+  local_.emplace(sub->id, slot);
+  const Subscription& stored = store_->at(slot);
+  const auto [first, last] = span_of_sub(stored);
+  for (std::size_t b = first; b <= last; ++b) {
+    bucket_insert(buckets_[b], slot, stored);
+  }
+}
+
+bool FlatBucketIndex::erase(SubscriptionId id) {
+  const auto it = local_.find(id);
+  if (it == local_.end()) return false;
+  const Slot slot = it->second;
+  const auto [first, last] = span_of_sub(store_->at(slot));
+  for (std::size_t b = first; b <= last; ++b) bucket_erase(buckets_[b], slot);
+  local_.erase(it);
+  store_->release(id);
+  return true;
+}
+
+void FlatBucketIndex::clear() {
+  for (const auto& [id, slot] : local_) store_->release(id);
+  local_.clear();
+  for (Bucket& b : buckets_) b = Bucket{};
+}
+
+void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
+                            WorkCounter& wc) const {
+  ++wc.probes;
+  const Bucket& b = buckets_[bucket_of(m.value(pivot_))];
+  const std::size_t n = b.slots.size();
+  wc.comparisons += n + b.irregular.size();
+  if (n != 0 && m.dimensions() == columns_) {
+    sel_.resize(n);
+    std::size_t count = 0;
+    {
+      // First pass over one full column: branchless, contiguous, and the
+      // loop the compiler vectorizes.
+      const Value v = m.values[0];
+      const Value* lo = b.lo[0].data();
+      const Value* hi = b.hi[0].data();
+      for (std::size_t i = 0; i < n; ++i) {
+        sel_[count] = static_cast<std::uint32_t>(i);
+        count += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
+      }
+    }
+    // Remaining dimensions compact the surviving selection in place.
+    for (std::size_t d = 1; d < columns_ && count != 0; ++d) {
+      const Value v = m.values[d];
+      const Value* lo = b.lo[d].data();
+      const Value* hi = b.hi[d].data();
+      std::size_t kept = 0;
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::uint32_t i = sel_[j];
+        sel_[kept] = i;
+        kept += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
+      }
+      count = kept;
+    }
+    for (std::size_t j = 0; j < count; ++j) out.push_back(b.slots[sel_[j]]);
+  }
+  for (const Slot slot : b.irregular) {
+    if (store_->at(slot).matches(m)) out.push_back(slot);
+  }
+}
+
+void FlatBucketIndex::match_hits(const Message& m, std::vector<MatchHit>& out,
+                                 WorkCounter& wc) const {
+  slots_scratch_.clear();
+  probe(m, slots_scratch_, wc);
+  for (const Slot slot : slots_scratch_) {
+    const Subscription& sub = store_->at(slot);
+    out.push_back({sub.id, sub.subscriber});
+  }
+}
+
+void FlatBucketIndex::match_batch(std::span<const Message> msgs,
+                                  std::vector<MatchHit>& hits,
+                                  std::vector<std::uint32_t>& offsets,
+                                  WorkCounter& wc) const {
+  offsets.reserve(offsets.size() + msgs.size() + 1);
+  for (const Message& m : msgs) {
+    offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+    match_hits(m, hits, wc);
+  }
+  offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+}
+
+void FlatBucketIndex::match(const Message& m, std::vector<SubPtr>& out,
+                            WorkCounter& wc) const {
+  slots_scratch_.clear();
+  probe(m, slots_scratch_, wc);
+  for (const Slot slot : slots_scratch_) {
+    out.push_back(std::make_shared<const Subscription>(store_->at(slot)));
+  }
+}
+
+double FlatBucketIndex::match_cost(const Message& m) const {
+  return 0.25 + static_cast<double>(bucket_size(bucket_of(m.value(pivot_))));
+}
+
+void FlatBucketIndex::for_each(
+    const std::function<void(const SubPtr&)>& fn) const {
+  for (const auto& [id, slot] : local_) {
+    fn(std::make_shared<const Subscription>(store_->at(slot)));
+  }
+}
+
+std::size_t FlatBucketIndex::bucket_size(std::size_t i) const {
+  return buckets_[i].slots.size() + buckets_[i].irregular.size();
+}
+
+}  // namespace bluedove

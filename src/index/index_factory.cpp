@@ -1,9 +1,31 @@
 #include "index/bucket_index.h"
+#include "index/flat_bucket_index.h"
 #include "index/interval_tree_index.h"
 #include "index/linear_scan_index.h"
 #include "index/subscription_index.h"
+#include "index/subscription_store.h"
 
 namespace bluedove {
+
+void SubscriptionIndex::match_hits(const Message& m, std::vector<MatchHit>& out,
+                                   WorkCounter& wc) const {
+  std::vector<SubPtr> subs;
+  match(m, subs, wc);
+  out.reserve(out.size() + subs.size());
+  for (const SubPtr& s : subs) out.push_back({s->id, s->subscriber});
+}
+
+void SubscriptionIndex::match_batch(std::span<const Message> msgs,
+                                    std::vector<MatchHit>& hits,
+                                    std::vector<std::uint32_t>& offsets,
+                                    WorkCounter& wc) const {
+  offsets.reserve(offsets.size() + msgs.size() + 1);
+  for (const Message& m : msgs) {
+    offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+    match_hits(m, hits, wc);
+  }
+  offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+}
 
 const char* to_string(IndexKind kind) {
   switch (kind) {
@@ -13,12 +35,15 @@ const char* to_string(IndexKind kind) {
       return "bucket";
     case IndexKind::kIntervalTree:
       return "interval-tree";
+    case IndexKind::kFlatBucket:
+      return "flat-bucket";
   }
   return "unknown";
 }
 
-std::unique_ptr<SubscriptionIndex> make_index(IndexKind kind, DimId pivot,
-                                              Range domain) {
+std::unique_ptr<SubscriptionIndex> make_index(
+    IndexKind kind, DimId pivot, Range domain,
+    std::shared_ptr<SubscriptionStore> store) {
   switch (kind) {
     case IndexKind::kLinearScan:
       return std::make_unique<LinearScanIndex>(pivot);
@@ -26,8 +51,15 @@ std::unique_ptr<SubscriptionIndex> make_index(IndexKind kind, DimId pivot,
       return std::make_unique<BucketIndex>(pivot, domain);
     case IndexKind::kIntervalTree:
       return std::make_unique<IntervalTreeIndex>(pivot, domain);
+    case IndexKind::kFlatBucket:
+      return std::make_unique<FlatBucketIndex>(pivot, domain, std::move(store));
   }
   return nullptr;
+}
+
+std::unique_ptr<SubscriptionIndex> make_index(IndexKind kind, DimId pivot,
+                                              Range domain) {
+  return make_index(kind, pivot, domain, nullptr);
 }
 
 }  // namespace bluedove

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "attr/message.h"
@@ -24,7 +25,19 @@
 
 namespace bluedove {
 
+class SubscriptionStore;
+
 using SubPtr = std::shared_ptr<const Subscription>;
+
+/// One matching subscription, reduced to what the delivery fan-out needs.
+/// The probe path returns these instead of `SubPtr` so engines backed by an
+/// arena never touch a refcount while matching.
+struct MatchHit {
+  SubscriptionId id = 0;
+  SubscriberId subscriber = 0;
+
+  friend bool operator==(const MatchHit&, const MatchHit&) = default;
+};
 
 /// Work units accumulated during index operations. One unit is one
 /// subscription comparison; probes (tree node / bucket visits) are cheaper.
@@ -62,6 +75,22 @@ class SubscriptionIndex {
   virtual void match(const Message& m, std::vector<SubPtr>& out,
                      WorkCounter& wc) const = 0;
 
+  /// Hot-path variant of match(): appends compact MatchHits instead of
+  /// handing out shared_ptrs. The default adapts match(); arena-backed
+  /// engines override it to keep the probe allocation- and refcount-free.
+  virtual void match_hits(const Message& m, std::vector<MatchHit>& out,
+                          WorkCounter& wc) const;
+
+  /// Matches a batch of messages in one call. Hits for msgs[i] land in
+  /// hits[offsets[i] .. offsets[i+1]); offsets gets msgs.size() + 1 entries
+  /// (hits/offsets are appended to, so pass them in cleared). The default
+  /// falls back to per-message match_hits(); engines that can amortize
+  /// probe setup across the batch override it.
+  virtual void match_batch(std::span<const Message> msgs,
+                           std::vector<MatchHit>& hits,
+                           std::vector<std::uint32_t>& offsets,
+                           WorkCounter& wc) const;
+
   /// Cheap estimate (O(1) or O(log n)) of the work units match() would
   /// spend on `m`. Used by the simulator's cost-only mode and by the
   /// forwarding-policy load estimates.
@@ -75,7 +104,8 @@ class SubscriptionIndex {
 enum class IndexKind {
   kLinearScan,   ///< scan the whole set; the cost model the paper implies
   kBucket,       ///< segment buckets along the pivot dimension
-  kIntervalTree  ///< centered interval tree along the pivot dimension
+  kIntervalTree, ///< centered interval tree along the pivot dimension
+  kFlatBucket    ///< arena-backed buckets with columnar (SoA) predicates
 };
 
 const char* to_string(IndexKind kind);
@@ -84,5 +114,12 @@ const char* to_string(IndexKind kind);
 /// partition the pivot domain need its extent, hence `domain`.
 std::unique_ptr<SubscriptionIndex> make_index(IndexKind kind, DimId pivot,
                                               Range domain);
+
+/// As above, but arena-backed engines (kFlatBucket) intern subscriptions in
+/// `store`, so one matcher's k dimension indexes share a single arena. Other
+/// kinds ignore `store`.
+std::unique_ptr<SubscriptionIndex> make_index(
+    IndexKind kind, DimId pivot, Range domain,
+    std::shared_ptr<SubscriptionStore> store);
 
 }  // namespace bluedove

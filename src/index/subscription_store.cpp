@@ -1,0 +1,45 @@
+#include "index/subscription_store.h"
+
+namespace bluedove {
+
+SubscriptionStore::Slot SubscriptionStore::acquire(const Subscription& sub) {
+  const auto it = by_id_.find(sub.id);
+  if (it != by_id_.end()) {
+    ++refs_[it->second];
+    return it->second;
+  }
+  Slot slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = sub;
+  } else {
+    slot = static_cast<Slot>(slots_.size());
+    slots_.push_back(sub);
+    refs_.push_back(0);
+  }
+  refs_[slot] = 1;
+  by_id_.emplace(sub.id, slot);
+  return slot;
+}
+
+bool SubscriptionStore::release(SubscriptionId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  const Slot slot = it->second;
+  if (--refs_[slot] == 0) {
+    slots_[slot] = Subscription{};  // drop the ranges allocation
+    free_.push_back(slot);
+    by_id_.erase(it);
+  }
+  return true;
+}
+
+void SubscriptionStore::clear() {
+  slots_.clear();
+  refs_.clear();
+  free_.clear();
+  by_id_.clear();
+}
+
+}  // namespace bluedove

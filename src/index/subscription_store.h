@@ -1,0 +1,61 @@
+#pragma once
+// SubscriptionStore: a per-matcher arena holding each subscription exactly
+// once, addressed by a dense 32-bit slot id.
+//
+// The store decouples subscription *storage* from subscription *indexing*:
+// engines register slot ids in their probe structures instead of copying
+// `shared_ptr<const Subscription>` per bucket, so the hot probe path moves
+// 4-byte slots rather than 16-byte refcounted pointers, and the k range
+// predicates of a subscription live in one contiguous allocation that every
+// dimension index shares. Slots are reference counted because a matcher may
+// register the same subscription in several dimension sets (handover copies
+// after a split land this way); the slot is recycled once the last index
+// releases it.
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "attr/subscription.h"
+#include "common/types.h"
+
+namespace bluedove {
+
+class SubscriptionStore {
+ public:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = std::numeric_limits<Slot>::max();
+
+  /// Interns `sub`: returns the existing slot (refcount bumped) when a
+  /// subscription with the same id is already stored, else copies it into a
+  /// fresh or recycled slot.
+  Slot acquire(const Subscription& sub);
+
+  /// Drops one reference to the subscription with this id; frees the slot
+  /// when it was the last one. Returns false when the id is not stored.
+  bool release(SubscriptionId id);
+
+  /// Slot of a stored subscription id, or kNoSlot.
+  Slot slot_of(SubscriptionId id) const {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? kNoSlot : it->second;
+  }
+
+  /// The subscription in a live slot. The reference is invalidated by the
+  /// next acquire()/release(); copy out what you keep.
+  const Subscription& at(Slot slot) const { return slots_[slot]; }
+
+  std::size_t live() const { return by_id_.size(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+  void clear();
+
+ private:
+  std::vector<Subscription> slots_;
+  std::vector<std::uint32_t> refs_;  ///< parallel to slots_; 0 = free
+  std::vector<Slot> free_;
+  std::unordered_map<SubscriptionId, Slot> by_id_;
+};
+
+}  // namespace bluedove

@@ -78,7 +78,7 @@ void write_payload(serde::Writer& w, const Delivery& m) {
   w.f64(m.dispatched_at);
   w.varint(m.values.size());
   for (Value v : m.values) w.f64(v);
-  w.str(m.payload);
+  w.str(m.payload.str());
 }
 Delivery read_delivery(serde::Reader& r) {
   Delivery m;

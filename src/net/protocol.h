@@ -9,6 +9,8 @@
 // account bytes the way the paper does.
 
 #include <cstdint>
+#include <memory>
+#include <ostream>
 #include <string>
 #include <variant>
 #include <vector>
@@ -73,6 +75,40 @@ struct MatchAck {
 // Matcher -> subscriber / metrics sink
 // --------------------------------------------------------------------------
 
+/// Read-only payload shared across a delivery fan-out: when a message
+/// matches N subscriptions, all N Delivery envelopes reference one heap
+/// string instead of each owning a copy. Behaves like a const std::string
+/// at the call sites; serialization writes the bytes inline, so the wire
+/// format is unchanged.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  PayloadRef(std::string s)
+      : str_(s.empty() ? nullptr
+                       : std::make_shared<const std::string>(std::move(s))) {}
+  PayloadRef(const char* s) : PayloadRef(std::string(s)) {}
+  PayloadRef(std::shared_ptr<const std::string> s) : str_(std::move(s)) {}
+
+  const std::string& str() const {
+    static const std::string kEmpty;
+    return str_ ? *str_ : kEmpty;
+  }
+  operator const std::string&() const { return str(); }
+  const char* c_str() const { return str().c_str(); }
+  std::size_t size() const { return str().size(); }
+  bool empty() const { return str().empty(); }
+
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    return a.str() == b.str();
+  }
+  friend std::ostream& operator<<(std::ostream& os, const PayloadRef& p) {
+    return os << p.str();
+  }
+
+ private:
+  std::shared_ptr<const std::string> str_;
+};
+
 /// Notification of one matching subscription (full-matching mode).
 struct Delivery {
   MessageId msg_id = 0;
@@ -80,7 +116,7 @@ struct Delivery {
   SubscriberId subscriber = 0;
   Timestamp dispatched_at = 0.0;
   std::vector<Value> values;  ///< the message's attribute coordinates
-  std::string payload;
+  PayloadRef payload;         ///< shared across the fan-out, not copied
 };
 
 /// Emitted once per matched message; carries what the metrics layer needs.

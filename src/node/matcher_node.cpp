@@ -5,16 +5,24 @@
 
 #include "common/logging.h"
 #include "index/linear_scan_index.h"
+#include "index/subscription_store.h"
 
 namespace bluedove {
 
 MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
     : id_(id), config_(std::move(config)), gossiper_(id, config_.gossip) {
   const std::size_t k = config_.domains.size();
+  // Arena-backed engines share one per-matcher store across the k
+  // dimension indexes, so a subscription copied into several sets is still
+  // held once.
+  std::shared_ptr<SubscriptionStore> store;
+  if (config_.index_kind == IndexKind::kFlatBucket) {
+    store = std::make_shared<SubscriptionStore>();
+  }
   sets_.resize(k);
   for (std::size_t d = 0; d < k; ++d) {
     sets_[d].index = make_index(config_.index_kind, static_cast<DimId>(d),
-                                config_.domains[d]);
+                                config_.domains[d], store);
   }
   wide_ = std::make_unique<LinearScanIndex>(static_cast<DimId>(0));
   joined_dims_.assign(k, false);
@@ -124,6 +132,8 @@ void MatcherNode::handle_match_request(MatchRequest msg) {
 }
 
 void MatcherNode::pump() {
+  const std::size_t batch_max =
+      static_cast<std::size_t>(std::max(config_.match_batch, 1));
   while (busy_cores_ < config_.cores) {
     // Round-robin over non-empty dimension queues.
     DimSet* chosen = nullptr;
@@ -136,54 +146,98 @@ void MatcherNode::pump() {
       }
     }
     if (chosen == nullptr) return;
-    MatchRequest req = std::move(chosen->queue.front());
-    chosen->queue.pop_front();
+    std::vector<MatchRequest> batch;
+    batch.reserve(std::min(batch_max, chosen->queue.size()));
+    while (batch.size() < batch_max && !chosen->queue.empty()) {
+      batch.push_back(std::move(chosen->queue.front()));
+      chosen->queue.pop_front();
+    }
     ++busy_cores_;
-    service(std::move(req));
+    service_batch(std::move(batch));
   }
 }
 
-void MatcherNode::service(MatchRequest req) {
-  DimSet& set = sets_[req.dim];
-  double work = config_.base_match_work;
-  std::uint32_t match_count = 0;
-  std::vector<SubPtr> matches;
+void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
+  const DimId dim = reqs.front().dim;
+  DimSet& set = sets_[dim];
+  const auto n = reqs.size();
+  double work = config_.base_match_work * static_cast<double>(n);
+
+  // Hits for reqs[i] are hits[offsets[i] .. offsets[i+1]) (dimension set)
+  // plus wide_hits[wide_offsets[i] .. wide_offsets[i+1]) (wide set).
+  std::vector<MatchHit> hits, wide_hits;
+  std::vector<std::uint32_t> offsets, wide_offsets;
 
   if (config_.match_mode == MatcherConfig::MatchMode::kFull) {
+    std::vector<Message> msgs;
+    msgs.reserve(n);
+    for (const MatchRequest& req : reqs) {
+      // Matching only reads id + coordinates; don't copy the payload.
+      msgs.push_back(Message{req.msg.id, req.msg.values, {}});
+    }
     WorkCounter wc;
-    set.index->match(req.msg, matches, wc);
-    wide_->match(req.msg, matches, wc);
+    set.index->match_batch(msgs, hits, offsets, wc);
+    wide_->match_batch(msgs, wide_hits, wide_offsets, wc);
     work += wc.total();
-    match_count = static_cast<std::uint32_t>(matches.size());
   } else {
-    work += set.index->match_cost(req.msg);
-    work += static_cast<double>(wide_->size());
+    for (const MatchRequest& req : reqs) {
+      work += set.index->match_cost(req.msg);
+      work += static_cast<double>(wide_->size());
+    }
   }
 
   const Timestamp service_start = ctx_->now();
-  ctx_->charge(work, [this, req = std::move(req), match_count, work,
-                      service_start, matches = std::move(matches)] {
-    DimSet& done_set = sets_[req.dim];
+  ctx_->charge(work, [this, reqs = std::move(reqs), work, service_start,
+                      hits = std::move(hits), offsets = std::move(offsets),
+                      wide_hits = std::move(wide_hits),
+                      wide_offsets = std::move(wide_offsets)]() mutable {
+    const auto n = reqs.size();
+    DimSet& done_set = sets_[reqs.front().dim];
     const double duration = ctx_->now() - service_start;
     busy_seconds_in_window_ += duration;
-    done_set.ewma_service_time =
-        done_set.ewma_service_time <= 0.0
-            ? duration
-            : 0.8 * done_set.ewma_service_time + 0.2 * duration;
-    if (config_.match_mode == MatcherConfig::MatchMode::kFull &&
-        config_.deliver && config_.delivery_sink != kInvalidNode) {
-      for (const SubPtr& sub : matches) {
-        Delivery d;
-        d.msg_id = req.msg.id;
-        d.sub_id = sub->id;
-        d.subscriber = sub->subscriber;
-        d.dispatched_at = req.dispatched_at;
-        d.values = req.msg.values;
-        d.payload = req.msg.payload;
-        ctx_->send(config_.delivery_sink, Envelope::of(std::move(d)));
-      }
+    const double per_msg = duration / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      done_set.ewma_service_time =
+          done_set.ewma_service_time <= 0.0
+              ? per_msg
+              : 0.8 * done_set.ewma_service_time + 0.2 * per_msg;
     }
-    finish(req, match_count, work);
+    const bool deliver =
+        config_.match_mode == MatcherConfig::MatchMode::kFull &&
+        config_.deliver && config_.delivery_sink != kInvalidNode;
+    const double work_per_msg = work / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      MatchRequest& req = reqs[i];
+      std::uint32_t match_count = 0;
+      if (!offsets.empty()) {
+        match_count += offsets[i + 1] - offsets[i];
+        match_count += wide_offsets[i + 1] - wide_offsets[i];
+      }
+      if (deliver && match_count != 0) {
+        // One heap copy of the payload for the whole fan-out; every
+        // Delivery shares it through the PayloadRef.
+        const PayloadRef payload(std::move(req.msg.payload));
+        auto send_one = [&](const MatchHit& hit) {
+          Delivery d;
+          d.msg_id = req.msg.id;
+          d.sub_id = hit.id;
+          d.subscriber = hit.subscriber;
+          d.dispatched_at = req.dispatched_at;
+          d.values = req.msg.values;
+          d.payload = payload;
+          ctx_->send(config_.delivery_sink, Envelope::of(std::move(d)));
+        };
+        for (std::uint32_t h = offsets[i]; h < offsets[i + 1]; ++h) {
+          send_one(hits[h]);
+        }
+        for (std::uint32_t h = wide_offsets[i]; h < wide_offsets[i + 1]; ++h) {
+          send_one(wide_hits[h]);
+        }
+      }
+      finish(req, match_count, work_per_msg);
+    }
+    --busy_cores_;
+    pump();
   });
 }
 
@@ -205,8 +259,6 @@ void MatcherNode::finish(const MatchRequest& req, std::uint32_t match_count,
     done.work_units = work_units;
     ctx_->send(config_.metrics_sink, Envelope::of(done));
   }
-  --busy_cores_;
-  pump();
 }
 
 // --------------------------------------------------------------------------
@@ -357,11 +409,16 @@ void MatcherNode::handle_handover_segment(const HandoverSegment& msg) {
 void MatcherNode::handle_leave() {
   const MatcherState* mine = gossiper_.self_state();
   if (mine == nullptr || left_) return;
+  // Copy the segments up front: update_self mutates gossip state, which can
+  // relocate the entry `mine` points into.
+  const std::vector<Range> segments = mine->segments;
+  mine = nullptr;
   gossiper_.update_self(
       [](MatcherState& state) { state.status = NodeStatus::kLeaving; });
 
   for (std::size_t d = 0; d < dims(); ++d) {
-    const Range seg = mine->segments[d];
+    if (d >= segments.size()) break;
+    const Range seg = segments[d];
     // Adjacent live matcher: the one starting where we end, else ending
     // where we start.
     NodeId neighbor = kInvalidNode;

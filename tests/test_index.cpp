@@ -11,9 +11,11 @@
 #include "attr/schema.h"
 #include "common/rng.h"
 #include "index/bucket_index.h"
+#include "index/flat_bucket_index.h"
 #include "index/interval_tree_index.h"
 #include "index/linear_scan_index.h"
 #include "index/subscription_index.h"
+#include "index/subscription_store.h"
 #include "workload/generators.h"
 
 namespace bluedove {
@@ -198,17 +200,159 @@ TEST_P(IndexTest, ForEachVisitsEverySubscription) {
 INSTANTIATE_TEST_SUITE_P(AllEngines, IndexTest,
                          ::testing::Values(IndexKind::kLinearScan,
                                            IndexKind::kBucket,
-                                           IndexKind::kIntervalTree),
+                                           IndexKind::kIntervalTree,
+                                           IndexKind::kFlatBucket),
                          [](const auto& info) {
                            switch (info.param) {
                              case IndexKind::kLinearScan:
                                return "LinearScan";
                              case IndexKind::kBucket:
                                return "Bucket";
+                             case IndexKind::kFlatBucket:
+                               return "FlatBucket";
                              default:
                                return "IntervalTree";
                            }
                          });
+
+TEST_P(IndexTest, MatchHitsAgreesWithMatch) {
+  auto index = make();
+  const AttributeSchema schema = AttributeSchema::uniform(3, 1000.0);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  SubscriptionGenerator gen(wl, 11);
+  for (int i = 0; i < 300; ++i) {
+    index->insert(std::make_shared<const Subscription>(gen.next()));
+  }
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 12);
+  for (int i = 0; i < 100; ++i) {
+    const Message msg = mgen.next();
+    std::vector<SubPtr> subs;
+    std::vector<MatchHit> hits;
+    WorkCounter wc_subs, wc_hits;
+    index->match(msg, subs, wc_subs);
+    index->match_hits(msg, hits, wc_hits);
+    std::set<SubscriptionId> a, b;
+    for (const auto& s : subs) a.insert(s->id);
+    for (const auto& h : hits) b.insert(h.id);
+    EXPECT_EQ(a, b);
+    EXPECT_DOUBLE_EQ(wc_subs.total(), wc_hits.total());
+    for (const auto& h : hits) EXPECT_EQ(h.id, h.subscriber);  // gen default
+  }
+}
+
+TEST_P(IndexTest, MatchBatchOffsetsPartitionHits) {
+  auto index = make();
+  const AttributeSchema schema = AttributeSchema::uniform(3, 1000.0);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  SubscriptionGenerator gen(wl, 21);
+  for (int i = 0; i < 400; ++i) {
+    index->insert(std::make_shared<const Subscription>(gen.next()));
+  }
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 22);
+  std::vector<Message> batch;
+  for (int i = 0; i < 32; ++i) batch.push_back(mgen.next());
+
+  std::vector<MatchHit> hits;
+  std::vector<std::uint32_t> offsets;
+  WorkCounter wc;
+  index->match_batch(batch, hits, offsets, wc);
+  ASSERT_EQ(offsets.size(), batch.size() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), hits.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_LE(offsets[i], offsets[i + 1]);
+    std::set<SubscriptionId> got;
+    for (std::uint32_t h = offsets[i]; h < offsets[i + 1]; ++h) {
+      got.insert(hits[h].id);
+    }
+    std::vector<MatchHit> single;
+    WorkCounter wc1;
+    index->match_hits(batch[i], single, wc1);
+    std::set<SubscriptionId> expect;
+    for (const auto& h : single) expect.insert(h.id);
+    EXPECT_EQ(got, expect) << "message " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential property test: all four engines agree under churn
+// ---------------------------------------------------------------------------
+
+TEST(IndexDifferential, AllEnginesAgreeUnderChurn) {
+  const Range domain{0, 1000};
+  constexpr DimId pivot = 1;
+  const std::vector<IndexKind> kinds = {
+      IndexKind::kLinearScan, IndexKind::kBucket, IndexKind::kIntervalTree,
+      IndexKind::kFlatBucket};
+  std::vector<std::unique_ptr<SubscriptionIndex>> engines;
+  for (IndexKind kind : kinds) engines.push_back(make_index(kind, pivot, domain));
+
+  const AttributeSchema schema = AttributeSchema::uniform(3, 1000.0);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  wl.predicate_width = 150.0;
+  SubscriptionGenerator gen(wl, 1234);
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 5678);
+  Rng rng(99);
+
+  std::vector<SubPtr> live;
+  const auto check_round = [&](int round) {
+    for (int q = 0; q < 25; ++q) {
+      const Message msg = mgen.next();
+      std::set<SubscriptionId> reference;
+      bool have_reference = false;
+      for (std::size_t e = 0; e < engines.size(); ++e) {
+        std::vector<MatchHit> hits;
+        WorkCounter wc;
+        engines[e]->match_hits(msg, hits, wc);
+        std::set<SubscriptionId> got;
+        for (const auto& h : hits) got.insert(h.id);
+        EXPECT_EQ(got.size(), hits.size())
+            << to_string(kinds[e]) << " returned duplicates, round " << round;
+        if (!have_reference) {
+          reference = std::move(got);
+          have_reference = true;
+        } else {
+          EXPECT_EQ(got, reference)
+              << to_string(kinds[e]) << " diverged on round " << round;
+        }
+      }
+    }
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    // Insert a batch into every engine.
+    for (int i = 0; i < 120; ++i) {
+      auto sub = std::make_shared<const Subscription>(gen.next());
+      live.push_back(sub);
+      for (auto& engine : engines) engine->insert(sub);
+    }
+    // Erase a random third of the live population from every engine.
+    std::vector<SubPtr> survivors;
+    for (const SubPtr& sub : live) {
+      if (rng.next_below(3) == 0) {
+        for (auto& engine : engines) {
+          EXPECT_TRUE(engine->erase(sub->id)) << "round " << round;
+        }
+      } else {
+        survivors.push_back(sub);
+      }
+    }
+    live = std::move(survivors);
+    for (auto& engine : engines) {
+      EXPECT_EQ(engine->size(), live.size()) << "round " << round;
+    }
+    check_round(round);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Engine-specific behaviour
@@ -288,7 +432,66 @@ TEST(IndexFactory, NamesAndKinds) {
   EXPECT_STREQ(to_string(IndexKind::kLinearScan), "linear-scan");
   EXPECT_STREQ(to_string(IndexKind::kBucket), "bucket");
   EXPECT_STREQ(to_string(IndexKind::kIntervalTree), "interval-tree");
+  EXPECT_STREQ(to_string(IndexKind::kFlatBucket), "flat-bucket");
   EXPECT_NE(make_index(IndexKind::kBucket, 0, Range{0, 1}), nullptr);
+  EXPECT_NE(make_index(IndexKind::kFlatBucket, 0, Range{0, 1}), nullptr);
+}
+
+TEST(FlatBucketIndex, SharedArenaStoresEachSubscriptionOnce) {
+  // Two dimension indexes sharing one arena: the same subscription
+  // registered in both occupies a single slot, and survives until the last
+  // index releases it.
+  auto store = std::make_shared<SubscriptionStore>();
+  FlatBucketIndex dim0(0, Range{0, 1000}, store);
+  FlatBucketIndex dim1(1, Range{0, 1000}, store);
+
+  const SubPtr sub = make_sub(7, {{100, 200}, {300, 400}, {0, 1000}});
+  dim0.insert(sub);
+  dim1.insert(sub);
+  EXPECT_EQ(store->live(), 1u);  // one arena copy, refcounted
+
+  const Message msg{1, {150, 350, 5}, ""};
+  std::vector<MatchHit> hits;
+  WorkCounter wc;
+  dim0.match_hits(msg, hits, wc);
+  dim1.match_hits(msg, hits, wc);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 7u);
+  EXPECT_EQ(hits[1].id, 7u);
+
+  EXPECT_TRUE(dim0.erase(7));
+  EXPECT_EQ(store->live(), 1u);  // dim1 still holds it
+  hits.clear();
+  dim1.match_hits(msg, hits, wc);
+  EXPECT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(dim1.erase(7));
+  EXPECT_EQ(store->live(), 0u);
+}
+
+TEST(FlatBucketIndex, SlotsAreRecycledAfterChurn) {
+  FlatBucketIndex index(0, Range{0, 1000});
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 1; i <= 100; ++i) {
+      const double lo = (i % 10) * 100.0;
+      index.insert(make_sub(i, {{lo, lo + 50}, {0, 1000}}));
+    }
+    for (int i = 1; i <= 100; ++i) EXPECT_TRUE(index.erase(i));
+  }
+  EXPECT_EQ(index.size(), 0u);
+  // The arena recycled freed slots instead of growing per round.
+  EXPECT_LE(index.store().capacity(), 100u);
+}
+
+TEST(FlatBucketIndex, ColdBucketIsCheap) {
+  FlatBucketIndex index(0, Range{0, 1000}, nullptr, 10);
+  for (int i = 1; i <= 50; ++i) {
+    index.insert(make_sub(i, {{0, 100}, {0, 1000}}));
+  }
+  index.insert(make_sub(99, {{0, 1000}, {0, 1000}}));
+  const double hot = index.match_cost(Message{1, {50, 5}, ""});
+  const double cold = index.match_cost(Message{1, {950, 5}, ""});
+  EXPECT_GT(hot, 40.0);
+  EXPECT_LT(cold, 5.0);
 }
 
 }  // namespace

@@ -56,7 +56,9 @@ struct MatcherFixture {
                               MatcherConfig::MatchMode::kFull,
                           int cores = 4,
                           MatcherConfig::SplitPolicy split_policy =
-                              MatcherConfig::SplitPolicy::kMidpoint) {
+                              MatcherConfig::SplitPolicy::kMidpoint,
+                          IndexKind index_kind = IndexKind::kLinearScan,
+                          int match_batch = 1) {
     sim::SimConfig scfg;
     scfg.net_jitter = 0.0;
     scfg.sec_per_work_unit = 1e-5;  // coarse so queues are observable
@@ -78,6 +80,8 @@ struct MatcherFixture {
     cfg.cores = cores;
     cfg.match_mode = mode;
     cfg.split_policy = split_policy;
+    cfg.index_kind = index_kind;
+    cfg.match_batch = match_batch;
     cfg.dispatchers = {kDispatcher};
     cfg.metrics_sink = kSink;
     cfg.delivery_sink = kSink;
@@ -220,6 +224,56 @@ TEST(MatcherNode, RoundRobinAcrossDimensionQueues) {
     if (completed[i].dim != completed[i - 1].dim) ++transitions;
   }
   EXPECT_GE(transitions, 4);
+}
+
+TEST(MatcherNode, BatchedServiceMatchesAndDeliversLikeUnbatched) {
+  // FlatBucket engine + batch 4: one core drains whole batches through
+  // match_batch, yet every request still produces its MatchCompleted and
+  // the same deliveries as per-message service would.
+  MatcherFixture fx(1, MatcherConfig::MatchMode::kFull, /*cores=*/1,
+                    MatcherConfig::SplitPolicy::kMidpoint,
+                    IndexKind::kFlatBucket, /*match_batch=*/4);
+  fx.store(kM0, sub_with({{0, 100}, {0, 1000}}, 1), 0);
+  fx.store(kM0, sub_with({{400, 500}, {0, 1000}}, 2), 0);
+  fx.sim->run_for(0.01);
+  for (int i = 0; i < 10; ++i) {
+    const double v = (i % 2 == 0) ? 50.0 : 450.0;
+    fx.match(kM0, Message{static_cast<MessageId>(i + 1), {v, 500}, "pp"}, 0);
+  }
+  fx.sim->run_for(1.0);
+  const auto completed = fx.sink->of<MatchCompleted>();
+  ASSERT_EQ(completed.size(), 10u);
+  for (const auto& done : completed) {
+    EXPECT_EQ(done.match_count, 1u);
+    EXPECT_GT(done.work_units, 0.0);
+  }
+  const auto deliveries = fx.sink->of<Delivery>();
+  ASSERT_EQ(deliveries.size(), 10u);
+  for (const auto& d : deliveries) {
+    EXPECT_TRUE(d.sub_id == 1u || d.sub_id == 2u);
+    EXPECT_EQ(d.payload, "pp");  // payload shared across the fan-out intact
+  }
+  EXPECT_EQ(fx.matchers[kM0]->matched_total(), 10u);
+  EXPECT_EQ(fx.matchers[kM0]->queue_length(0), 0u);
+}
+
+TEST(MatcherNode, BatchRespectsQueueBoundaries) {
+  // Batch larger than either queue: requests from different dimensions are
+  // never folded into one batch (a batch serves a single dimension set).
+  MatcherFixture fx(1, MatcherConfig::MatchMode::kCostOnly, /*cores=*/1,
+                    MatcherConfig::SplitPolicy::kMidpoint,
+                    IndexKind::kLinearScan, /*match_batch=*/8);
+  for (int i = 0; i < 6; ++i) {
+    fx.match(kM0, Message{static_cast<MessageId>(i + 1), {5, 5}, ""},
+             static_cast<DimId>(i % 2));
+  }
+  fx.sim->run_for(1.0);
+  const auto completed = fx.sink->of<MatchCompleted>();
+  ASSERT_EQ(completed.size(), 6u);
+  std::size_t per_dim[2] = {0, 0};
+  for (const auto& done : completed) ++per_dim[done.dim];
+  EXPECT_EQ(per_dim[0], 3u);
+  EXPECT_EQ(per_dim[1], 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,8 +10,9 @@
 //   --system=bluedove|p2p|full-rep     --matchers=N        --dispatchers=N
 //   --subs=N          --dims=K         --sigma=S           --width=W
 //   --policy=adaptive|response-time|sub-count|random
-//   --index=linear-scan|bucket|interval-tree
-//   --msg-skew=J      --seed=N         --reliable          --cores=N
+//   --index=linear-scan|bucket|interval-tree|flat-bucket
+//   --match-batch=N   --msg-skew=J     --seed=N
+//   --reliable        --cores=N
 //
 // Examples:
 //   bluedove_cli saturate --system=p2p --matchers=10
@@ -76,9 +77,12 @@ ExperimentConfig config_from(const CliArgs& args) {
     cfg.index_kind = IndexKind::kBucket;
   } else if (index == "interval-tree") {
     cfg.index_kind = IndexKind::kIntervalTree;
+  } else if (index == "flat-bucket") {
+    cfg.index_kind = IndexKind::kFlatBucket;
   } else {
     cfg.index_kind = IndexKind::kLinearScan;
   }
+  cfg.match_batch = static_cast<int>(args.get_int("match-batch", 1));
   return cfg;
 }
 

@@ -9,6 +9,8 @@
 //   --dispatchers=id,...             dispatcher ids (matchers report to them)
 //   --sink=id                        delivery/metrics sink node id
 //   --dims=K --domain=L              schema (default 4 x [0,1000))
+//   --index=bucket|flat-bucket|interval-tree|linear-scan   (matcher only)
+//   --match-batch=N                  matcher batch drain depth (default 1)
 //
 // Example 3-matcher cluster on one machine:
 //   bluedove_noded --role=sink       --id=2    --port=7002 &
@@ -95,7 +97,17 @@ int main(int argc, char** argv) {
     MatcherConfig cfg;
     cfg.domains = domains;
     cfg.cores = static_cast<int>(args.get_int("cores", 4));
-    cfg.index_kind = IndexKind::kBucket;
+    const std::string index = args.get("index", "bucket");
+    if (index == "flat-bucket") {
+      cfg.index_kind = IndexKind::kFlatBucket;
+    } else if (index == "interval-tree") {
+      cfg.index_kind = IndexKind::kIntervalTree;
+    } else if (index == "linear-scan") {
+      cfg.index_kind = IndexKind::kLinearScan;
+    } else {
+      cfg.index_kind = IndexKind::kBucket;
+    }
+    cfg.match_batch = static_cast<int>(args.get_int("match-batch", 1));
     cfg.dispatchers = dispatchers;
     cfg.metrics_sink = sink != 0 ? sink : kInvalidNode;
     cfg.delivery_sink = sink != 0 ? sink : kInvalidNode;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan+UBSan (-DBLUEDOVE_SANITIZE=ON) and runs the full
+# test suite under it. The arena/SoA index code moves raw slots instead of
+# shared_ptrs, so this is the lifetime/bounds safety net for src/index.
+#
+# Usage: tools/sanitize_check.sh [ctest-args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBLUEDOVE_SANITIZE=ON
+cmake --build "${build_dir}" -j "${jobs}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "$@"
