@@ -13,6 +13,8 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace bluedove::benchutil {
 
@@ -58,6 +60,20 @@ inline void header(const char* fig, const char* title) {
 
 inline void note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
+}
+
+/// Writes `snap` to BENCH_<name>.json in the working directory (the obs
+/// JSON schema, so downstream tooling parses bench output and live-cluster
+/// scrapes the same way). The snapshot typically carries the bench's
+/// headline numbers as gauges plus any latency histograms.
+inline void write_bench_json(const std::string& name,
+                             const obs::MetricsSnapshot& snap) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (obs::write_json_file(path, snap)) {
+    std::printf("bench metrics written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
 }
 
 }  // namespace bluedove::benchutil

@@ -10,7 +10,8 @@ using namespace bluedove;
 
 namespace {
 
-void run_at(const ExperimentConfig& base, double rate, const char* label) {
+void run_at(const ExperimentConfig& base, double rate, const char* label,
+            const std::string& key, obs::MetricsSnapshot& record) {
   Deployment dep(base);
   dep.start();
   // Ramp up so load reports and service-time estimates warm before the
@@ -24,13 +25,23 @@ void run_at(const ExperimentConfig& base, double rate, const char* label) {
   const Timestamp t0 = dep.now();
   std::printf("\n%s: rate=%.0f msg/s (time, mean response ms, backlog)\n",
               label, rate);
+  double last_rt_ms = 0.0;
   for (int tick = 0; tick < 12; ++tick) {
     (void)dep.responses().window();
     dep.run_for(5.0);
     const OnlineStats w = dep.responses().window();
+    last_rt_ms = w.mean() * 1e3;
     std::printf("  t=%5.1fs  rt=%9.2fms  backlog=%zu\n", dep.now() - t0,
                 w.mean() * 1e3, dep.backlog());
   }
+  record.gauges["fig5." + key + ".rate"] = rate;
+  record.gauges["fig5." + key + ".rt_mean_ms_final"] = last_rt_ms;
+  record.gauges["fig5." + key + ".rt_p99_ms"] =
+      dep.responses().quantile(0.99) * 1e3;
+  record.gauges["fig5." + key + ".backlog_final"] =
+      static_cast<double>(dep.backlog());
+  record.counters["fig5." + key + ".published"] = dep.published();
+  record.counters["fig5." + key + ".completed"] = dep.completed();
 }
 
 }  // namespace
@@ -48,8 +59,11 @@ int main() {
   }
   std::printf("measured saturation rate: %.0f msg/s\n", sat);
 
-  run_at(cfg, 0.85 * sat, "below saturation (0.85x)");
-  run_at(cfg, 1.30 * sat, "above saturation (1.30x)");
+  obs::MetricsSnapshot record;
+  record.gauges["fig5.saturation_rate"] = sat;
+  run_at(cfg, 0.85 * sat, "below saturation (0.85x)", "below", record);
+  run_at(cfg, 1.30 * sat, "above saturation (1.30x)", "above", record);
+  benchutil::write_bench_json("fig5", record);
 
   std::printf(
       "\npaper: response time constant below saturation; linear growth "

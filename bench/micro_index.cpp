@@ -4,8 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "attr/schema.h"
 #include "index/subscription_index.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "workload/generators.h"
 
 using namespace bluedove;
@@ -146,6 +150,44 @@ void BM_FullMatchPredicate(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMatchPredicate);
 
+// Console output as usual, plus every run's per-iteration time collected
+// into a metrics snapshot so the bench emits BENCH_micro_index.json in the
+// same schema as live-cluster scrapes.
+class JsonSnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.iterations == 0) continue;
+      const double ns_per_iter =
+          run.real_accumulated_time / static_cast<double>(run.iterations) *
+          1e9;
+      snap_.gauges["micro_index." + run.benchmark_name() + ".ns_per_iter"] =
+          ns_per_iter;
+      snap_.counters["micro_index." + run.benchmark_name() + ".iterations"] =
+          static_cast<std::uint64_t>(run.iterations);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const obs::MetricsSnapshot& snapshot() const { return snap_; }
+
+ private:
+  obs::MetricsSnapshot snap_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonSnapshotReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* path = "BENCH_micro_index.json";
+  if (obs::write_json_file(path, reporter.snapshot())) {
+    std::printf("bench metrics written to %s\n", path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+  return 0;
+}

@@ -4,8 +4,10 @@
 // implementation (the per-node message rates in the in-process runtime do
 // not justify a lock-free design, and correctness is easier to audit).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -13,19 +15,53 @@
 
 namespace bluedove {
 
+/// Shared stage-queue instrumentation (depth, high-water mark, enqueue
+/// blocks, drops). All fields are relaxed atomics so producers, consumers
+/// and an out-of-band metrics scraper can touch them concurrently; the
+/// observability layer snapshots these into per-stage gauges/counters.
+struct QueueStats {
+  std::atomic<std::int64_t> depth{0};
+  std::atomic<std::int64_t> high_water{0};
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> dequeued{0};
+  std::atomic<std::uint64_t> blocked{0};  ///< pushes that had to wait for room
+  std::atomic<std::uint64_t> dropped{0};  ///< try_pushes rejected when full
+
+  void on_enqueue() {
+    enqueued.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t d = depth.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::int64_t hw = high_water.load(std::memory_order_relaxed);
+    while (hw < d && !high_water.compare_exchange_weak(
+                         hw, d, std::memory_order_relaxed)) {
+    }
+  }
+  void on_dequeue() {
+    dequeued.fetch_add(1, std::memory_order_relaxed);
+    depth.fetch_sub(1, std::memory_order_relaxed);
+  }
+};
+
 template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity = 4096)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
+  /// Attaches a stats block (not owned; must outlive the queue). Call
+  /// before producers/consumers start.
+  void attach_stats(QueueStats* stats) { stats_ = stats; }
+
   /// Blocks until space is available or the queue is closed.
   /// Returns false if the queue was closed.
   bool push(T item) {
     std::unique_lock lock(mu_);
+    if (stats_ != nullptr && !closed_ && items_.size() >= capacity_) {
+      stats_->blocked.fetch_add(1, std::memory_order_relaxed);
+    }
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (stats_ != nullptr) stats_->on_enqueue();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -35,8 +71,14 @@ class BoundedQueue {
   bool try_push(T item) {
     {
       std::lock_guard lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_) {
+        if (stats_ != nullptr && !closed_) {
+          stats_->dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+        return false;
+      }
       items_.push_back(std::move(item));
+      if (stats_ != nullptr) stats_->on_enqueue();
     }
     not_empty_.notify_one();
     return true;
@@ -49,6 +91,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
+    if (stats_ != nullptr) stats_->on_dequeue();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -62,6 +105,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front());
       items_.pop_front();
+      if (stats_ != nullptr) stats_->on_dequeue();
     }
     not_full_.notify_one();
     return out;
@@ -91,6 +135,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  QueueStats* stats_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

@@ -2,6 +2,7 @@
 // Tiny leveled logger. Default level is kWarn so tests and benches stay
 // quiet; experiments flip to kInfo for progress lines. Thread-safe.
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
@@ -15,17 +16,22 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  // level_ is read on every BD_LOG site from any thread while tests and
+  // tools flip it; relaxed atomics keep that race-free without a lock.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >=
+           static_cast<int>(level_.load(std::memory_order_relaxed));
   }
 
   void write(LogLevel level, const std::string& msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mu_;
 };
 

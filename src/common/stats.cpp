@@ -98,6 +98,34 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.width_ != width_) {
+    return;  // incompatible layouts: merging would misattribute mass
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))),
+      1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= rank) {
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    seen += counts_[i];
+  }
+  return bucket_lo(counts_.size() - 1) + width_;
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;

@@ -63,6 +63,16 @@ class Histogram {
   void add(double x);
   void reset();
 
+  /// Accumulates another histogram's counts. The two must share the same
+  /// bucket layout (same lo / width / bucket count); combining per-node
+  /// response-time histograms cluster-wide without shipping raw samples.
+  void merge(const Histogram& other);
+
+  /// q in [0, 1]: linearly interpolated quantile estimate from the bucket
+  /// counts (each bucket's mass is spread uniformly over its range).
+  /// Returns 0 when the histogram is empty.
+  double quantile(double q) const;
+
   std::size_t bucket_count() const { return counts_.size(); }
   std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   double bucket_lo(std::size_t i) const;

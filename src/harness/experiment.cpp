@@ -100,6 +100,7 @@ DispatcherConfig Deployment::dispatcher_config() const {
   cfg.dispatcher_count = config_.dispatchers;
   cfg.auto_scale = config_.auto_scale;
   cfg.reliable_delivery = config_.reliable_delivery;
+  cfg.trace_sample_rate = config_.trace_sample_rate;
   return cfg;
 }
 
@@ -119,6 +120,10 @@ void Deployment::build() {
                       }
                       responses_.add(now, now - done->dispatched_at);
                       losses_.on_completed(now);
+                      if (done->trace_id != 0) {
+                        breakdown_.record(done->dispatched_at, done->hops,
+                                          now);
+                      }
                     }),
                 1);
   sim_.add_node(kDeliverySink,
@@ -271,6 +276,22 @@ MatcherNode* Deployment::matcher(NodeId id) {
 
 DispatcherNode* Deployment::dispatcher(NodeId id) {
   return sim_.node_as<DispatcherNode>(id);
+}
+
+obs::MetricsSnapshot Deployment::cluster_snapshot() {
+  obs::MetricsSnapshot snap = sim_.metrics_snapshot();
+  for (NodeId id : dispatcher_ids_) {
+    if (DispatcherNode* d = dispatcher(id)) {
+      snap.merge(d->metrics().snapshot());
+    }
+  }
+  for (NodeId id : matcher_ids_) {
+    if (sim_.alive(id)) {
+      if (MatcherNode* m = matcher(id)) snap.merge(m->metrics().snapshot());
+    }
+  }
+  snap.merge(breakdown_.registry().snapshot());
+  return snap;
 }
 
 // ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@
 #include "metrics/response_tracker.h"
 #include "node/dispatcher_node.h"
 #include "node/matcher_node.h"
+#include "obs/trace.h"
 #include "sim/sim_cluster.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
@@ -74,6 +75,11 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 1;
   sim::SimConfig sim;
+
+  /// Fraction of publications traced through the pipeline (obs/trace.h).
+  /// 0 = off (default; one branch per publish), 1 = every message. Traced
+  /// messages feed Deployment::breakdown() with per-stage latency.
+  double trace_sample_rate = 0.0;
 };
 
 class Deployment {
@@ -112,6 +118,13 @@ class Deployment {
   std::size_t backlog() const;
   std::uint64_t published() const { return losses_.published_total(); }
   std::uint64_t completed() const { return losses_.completed_total(); }
+  /// Per-stage latency breakdown of the traced messages (dispatch / queue /
+  /// match / deliver); empty unless trace_sample_rate > 0.
+  const obs::StageBreakdown& breakdown() const { return breakdown_; }
+  /// Cluster-wide metrics: every node registry, the sim substrate stats and
+  /// the trace breakdown merged into one snapshot (the JSON/Prometheus
+  /// exporters in obs/export.h take it from here).
+  obs::MetricsSnapshot cluster_snapshot();
 
   // --- topology --------------------------------------------------------------
   const std::vector<NodeId>& matcher_ids() const { return matcher_ids_; }
@@ -191,6 +204,7 @@ class Deployment {
   ResponseTracker responses_;
   LossTracker losses_;
   LoadMonitor loads_;
+  obs::StageBreakdown breakdown_;
   std::unordered_set<MessageId> completed_ids_;  ///< dedup (reliable mode)
 
   bool started_ = false;

@@ -49,11 +49,27 @@ RemoveSubscription read_remove_subscription(serde::Reader& r) {
   return m;
 }
 
+void write_hops(serde::Writer& w, const obs::TraceHops& h) {
+  w.f64(h.enqueued_at);
+  w.f64(h.match_start);
+  w.f64(h.match_end);
+}
+obs::TraceHops read_hops(serde::Reader& r) {
+  obs::TraceHops h;
+  h.enqueued_at = r.f64();
+  h.match_start = r.f64();
+  h.match_end = r.f64();
+  return h;
+}
+
 void write_payload(serde::Writer& w, const MatchRequest& m) {
   write_message(w, m.msg);
   w.u16(m.dim);
   w.f64(m.dispatched_at);
   w.u32(m.reply_to);
+  // Trace block: one varint 0 for the (default) untraced case.
+  w.varint(m.trace_id);
+  if (m.trace_id != 0) write_hops(w, m.hops);
 }
 MatchRequest read_match_request(serde::Reader& r) {
   MatchRequest m;
@@ -61,6 +77,8 @@ MatchRequest read_match_request(serde::Reader& r) {
   m.dim = r.u16();
   m.dispatched_at = r.f64();
   m.reply_to = r.u32();
+  m.trace_id = r.varint();
+  if (m.trace_id != 0) m.hops = read_hops(r);
   return m;
 }
 
@@ -79,6 +97,7 @@ void write_payload(serde::Writer& w, const Delivery& m) {
   w.varint(m.values.size());
   for (Value v : m.values) w.f64(v);
   w.str(m.payload.str());
+  w.varint(m.trace_id);
 }
 Delivery read_delivery(serde::Reader& r) {
   Delivery m;
@@ -90,6 +109,7 @@ Delivery read_delivery(serde::Reader& r) {
   m.values.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n && r.ok(); ++i) m.values.push_back(r.f64());
   m.payload = r.str();
+  m.trace_id = r.varint();
   return m;
 }
 
@@ -100,6 +120,8 @@ void write_payload(serde::Writer& w, const MatchCompleted& m) {
   w.f64(m.dispatched_at);
   w.u32(m.match_count);
   w.f64(m.work_units);
+  w.varint(m.trace_id);
+  if (m.trace_id != 0) write_hops(w, m.hops);
 }
 MatchCompleted read_match_completed(serde::Reader& r) {
   MatchCompleted m;
@@ -109,6 +131,8 @@ MatchCompleted read_match_completed(serde::Reader& r) {
   m.dispatched_at = r.f64();
   m.match_count = r.u32();
   m.work_units = r.f64();
+  m.trace_id = r.varint();
+  if (m.trace_id != 0) m.hops = read_hops(r);
   return m;
 }
 
@@ -246,6 +270,16 @@ HandoverMerge read_handover_merge(serde::Reader& r) {
   return m;
 }
 
+void write_payload(serde::Writer&, const StatsRequest&) {}
+StatsRequest read_stats_request(serde::Reader&) { return {}; }
+
+void write_payload(serde::Writer& w, const StatsResponse& m) {
+  w.str(m.json);
+}
+StatsResponse read_stats_response(serde::Reader& r) {
+  return StatsResponse{r.str()};
+}
+
 }  // namespace
 
 void write_envelope(serde::Writer& w, const Envelope& env) {
@@ -296,6 +330,10 @@ Envelope read_envelope(serde::Reader& r) {
       return Envelope::of(read_handover_merge(r));
     case 19:
       return Envelope::of(read_match_ack(r));
+    case 20:
+      return Envelope::of(read_stats_request(r));
+    case 21:
+      return Envelope::of(read_stats_response(r));
     default:
       return Envelope::of(TablePullReq{});
   }
@@ -313,7 +351,8 @@ const char* payload_name(const Envelope& env) {
       "StoreSubscription", "RemoveSubscription", "MatchRequest", "Delivery",
       "MatchCompleted", "LoadReport", "TablePullReq", "TablePullResp",
       "GossipSyn", "GossipAck", "GossipAck2", "JoinRequest", "SplitCommand",
-      "HandoverSegment", "LeaveRequest", "HandoverMerge", "MatchAck"};
+      "HandoverSegment", "LeaveRequest", "HandoverMerge", "MatchAck",
+      "StatsRequest", "StatsResponse"};
   return kNames[env.payload.index()];
 }
 

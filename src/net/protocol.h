@@ -20,6 +20,7 @@
 #include "common/serde.h"
 #include "common/types.h"
 #include "net/cluster_table.h"
+#include "obs/trace.h"
 
 namespace bluedove {
 
@@ -64,6 +65,11 @@ struct MatchRequest {
   /// When valid, the matcher acknowledges completion to this dispatcher
   /// (reliable-delivery mode, the §VI message-persistence extension).
   NodeId reply_to = kInvalidNode;
+  /// Pipeline tracing (obs/trace.h): non-zero when this message was sampled
+  /// by the dispatcher; the matcher then fills the hop stamps as the
+  /// message moves through its stages.
+  obs::TraceId trace_id = 0;
+  obs::TraceHops hops;
 };
 
 /// Matcher -> dispatcher: matching for `msg_id` completed (reliable mode).
@@ -117,6 +123,7 @@ struct Delivery {
   Timestamp dispatched_at = 0.0;
   std::vector<Value> values;  ///< the message's attribute coordinates
   PayloadRef payload;         ///< shared across the fan-out, not copied
+  obs::TraceId trace_id = 0;  ///< non-zero when the message was sampled
 };
 
 /// Emitted once per matched message; carries what the metrics layer needs.
@@ -127,6 +134,11 @@ struct MatchCompleted {
   Timestamp dispatched_at = 0.0;
   std::uint32_t match_count = 0;
   double work_units = 0.0;
+  /// Pipeline trace: id plus the matcher-side hop stamps (zero when the
+  /// message was not sampled). The metrics sink derives the per-stage
+  /// latency breakdown from these.
+  obs::TraceId trace_id = 0;
+  obs::TraceHops hops;
 };
 
 // --------------------------------------------------------------------------
@@ -213,6 +225,21 @@ struct HandoverMerge {
 };
 
 // --------------------------------------------------------------------------
+// Admin: stats scrape (any node -> requester)
+// --------------------------------------------------------------------------
+
+/// Asks a node for a snapshot of its metrics registry. Sent by the
+/// `bluedove_cli stats` admin path (and usable by any in-cluster scraper).
+struct StatsRequest {};
+
+/// Reply: the node's MetricsSnapshot in the obs JSON encoding (obs/export.h
+/// round-trips it), so one string field carries counters, gauges and
+/// histograms without widening the wire protocol per metric.
+struct StatsResponse {
+  std::string json;
+};
+
+// --------------------------------------------------------------------------
 // Envelope
 // --------------------------------------------------------------------------
 
@@ -221,7 +248,8 @@ using Payload =
                  StoreSubscription, RemoveSubscription, MatchRequest, Delivery,
                  MatchCompleted, LoadReport, TablePullReq, TablePullResp,
                  GossipSyn, GossipAck, GossipAck2, JoinRequest, SplitCommand,
-                 HandoverSegment, LeaveRequest, HandoverMerge, MatchAck>;
+                 HandoverSegment, LeaveRequest, HandoverMerge, MatchAck,
+                 StatsRequest, StatsResponse>;
 
 struct Envelope {
   Payload payload;

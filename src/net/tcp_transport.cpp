@@ -248,9 +248,25 @@ void TcpHost::reader_loop(int fd) {
     const NodeId from = r.u32();
     Envelope env = read_envelope(r);
     if (!r.ok()) break;
+    if (from != kInvalidNode) {
+      // Learn the return path so replies reach peers that have no
+      // registered endpoint (admin scrapers, NAT'd clients).
+      std::lock_guard lock(peers_mu_);
+      learned_fds_[from] = fd;
+    }
     enqueue_task([this, from, env = std::move(env)]() mutable {
       node_->on_receive(from, std::move(env));
     });
+  }
+  {
+    std::lock_guard lock(peers_mu_);
+    for (auto it = learned_fds_.begin(); it != learned_fds_.end();) {
+      if (it->second == fd) {
+        it = learned_fds_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   {
     std::lock_guard lock(readers_mu_);
@@ -282,7 +298,16 @@ int TcpHost::connect_peer(NodeId peer) {
 bool TcpHost::send_to(NodeId peer, const Envelope& env) {
   std::lock_guard lock(peers_mu_);
   int fd = connect_peer(peer);
-  if (fd < 0) return false;
+  if (fd < 0) {
+    // No dialable endpoint: fall back to the learned inbound connection.
+    // The fd belongs to its reader thread, so a failed write only drops
+    // the mapping (the reader notices the close and cleans up the socket).
+    auto it = learned_fds_.find(peer);
+    if (it == learned_fds_.end()) return false;
+    if (send_frame(it->second, self_, env)) return true;
+    learned_fds_.erase(it);
+    return false;
+  }
   if (send_frame(fd, self_, env)) return true;
   // Stale cached connection: drop it and retry once with a fresh one.
   ::close(fd);
@@ -332,6 +357,39 @@ bool TcpHost::send_once(const TcpEndpoint& endpoint, const Envelope& env) {
   const bool ok = send_frame(fd, kInvalidNode, env);
   ::close(fd);
   return ok;
+}
+
+bool TcpHost::request_reply(const TcpEndpoint& endpoint, NodeId self,
+                            const Envelope& req, Envelope* resp,
+                            double timeout_sec) {
+  const int fd = connect_endpoint(endpoint);
+  if (fd < 0) return false;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_sec);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_sec - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  bool ok = send_frame(fd, self, req);
+  std::uint8_t len_bytes[4];
+  std::uint32_t len = 0;
+  ok = ok && read_all(fd, len_bytes, 4);
+  if (ok) {
+    len = static_cast<std::uint32_t>(len_bytes[0]) |
+          (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+          (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+          (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+    ok = len >= 4 && len <= kMaxFrame;
+  }
+  std::vector<std::uint8_t> buf(len);
+  ok = ok && read_all(fd, buf.data(), len);
+  ::close(fd);
+  if (!ok) return false;
+  serde::Reader r(buf.data(), buf.size());
+  r.u32();  // sender id, unused
+  Envelope env = read_envelope(r);
+  if (!r.ok()) return false;
+  if (resp != nullptr) *resp = std::move(env);
+  return true;
 }
 
 }  // namespace bluedove::net

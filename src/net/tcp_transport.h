@@ -76,6 +76,14 @@ class TcpHost {
   /// kInvalidNode), close. Returns false when the peer is unreachable.
   static bool send_once(const TcpEndpoint& endpoint, const Envelope& env);
 
+  /// One-shot request/reply: connect as `self`, send `req`, wait up to
+  /// `timeout_sec` for one reply frame on the same connection (the server
+  /// replies over its learned return path) and parse it into `resp`.
+  /// Returns false on connect failure, timeout or a malformed reply.
+  static bool request_reply(const TcpEndpoint& endpoint, NodeId self,
+                            const Envelope& req, Envelope* resp,
+                            double timeout_sec = 5.0);
+
  private:
   class Context;
   friend class Context;
@@ -91,12 +99,20 @@ class TcpHost {
   std::unique_ptr<Node> node_;
   std::unique_ptr<Context> ctx_;
 
-  int listen_fd_ = -1;
+  // Written by the constructor and stop(), read by accept_loop() while it
+  // blocks in accept(); atomic so the shutdown handshake (close the
+  // listener, accept fails, loop exits) is race-free.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
 
   std::mutex peers_mu_;
   std::map<NodeId, TcpEndpoint> peers_;
   std::map<NodeId, int> peer_fds_;  ///< cached outgoing connections
+  /// Learned return paths: sender id -> inbound socket it last spoke on.
+  /// Lets the node reply to peers with no registered endpoint (e.g. the
+  /// `bluedove_cli stats` scraper) over the connection they opened. The
+  /// fds are owned by their reader threads, never closed through this map.
+  std::map<NodeId, int> learned_fds_;
 
   // Node event loop (tasks + timers), same discipline as ThreadCluster.
   std::mutex mu_;

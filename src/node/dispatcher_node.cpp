@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/export.h"
 
 namespace bluedove {
 
@@ -13,6 +14,11 @@ DispatcherNode::DispatcherNode(NodeId id, DispatcherConfig config)
                   : std::make_shared<const MPartition>();
   policy_ = make_policy(config_.policy);
   policy_->set_dispatcher_count(config_.dispatcher_count);
+  m_published_ = &metrics_.counter("dispatcher.published");
+  m_forwarded_ = &metrics_.counter("dispatcher.forwarded");
+  m_dropped_ = &metrics_.counter("dispatcher.dropped_no_candidate");
+  m_sampled_ = &metrics_.counter("dispatcher.traced");
+  m_stats_reqs_ = &metrics_.counter("dispatcher.stats_requests");
 }
 
 void DispatcherNode::set_bootstrap(ClusterTable table) {
@@ -50,6 +56,10 @@ void DispatcherNode::on_receive(NodeId from, Envelope env) {
           handle_join(from);
         } else if constexpr (std::is_same_v<T, MatchAck>) {
           pending_.erase(msg.msg_id);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          m_stats_reqs_->inc();
+          ctx_->send(from, Envelope::of(StatsResponse{
+                               obs::to_json(metrics_.snapshot())}));
         } else {
           BD_DEBUG("dispatcher ", id_, " ignoring ", payload_name(env));
         }
@@ -92,7 +102,8 @@ void DispatcherNode::handle_unsubscribe(const ClientUnsubscribe& msg) {
 }
 
 Assignment DispatcherNode::forward(const Message& msg, Timestamp dispatched_at,
-                                   const std::vector<NodeId>& exclude) {
+                                   const std::vector<NodeId>& exclude,
+                                   obs::TraceId trace_id) {
   std::vector<Assignment> candidates = strategy_->candidates(view_, msg);
   if (!exclude.empty()) {
     std::erase_if(candidates, [&](const Assignment& a) {
@@ -107,10 +118,12 @@ Assignment DispatcherNode::forward(const Message& msg, Timestamp dispatched_at,
   const Assignment choice =
       policy_->pick(candidates, load_view_, ctx_->now(), ctx_->rng());
   policy_->on_forwarded(choice);
+  m_forwarded_->inc();
   MatchRequest req;
   req.msg = msg;
   req.dim = choice.dim;
   req.dispatched_at = dispatched_at;
+  req.trace_id = trace_id;
   if (config_.reliable_delivery) req.reply_to = id_;
   if (config_.dispatch_work > 0.0) {
     ctx_->charge(config_.dispatch_work,
@@ -125,10 +138,20 @@ Assignment DispatcherNode::forward(const Message& msg, Timestamp dispatched_at,
 
 void DispatcherNode::handle_publish(ClientPublish msg) {
   ++published_;
+  m_published_->inc();
   const Timestamp now = ctx_->now();
-  const Assignment choice = forward(msg.msg, now, {});
+  // Trace sampling: with the rate at 0 this is one branch and no RNG draw,
+  // so the default-off cost on the publish hot path is negligible.
+  obs::TraceId trace_id = 0;
+  if (config_.trace_sample_rate > 0.0 &&
+      ctx_->rng().uniform(0.0, 1.0) < config_.trace_sample_rate) {
+    trace_id = (static_cast<obs::TraceId>(id_) << 40) | ++trace_seq_;
+    m_sampled_->inc();
+  }
+  const Assignment choice = forward(msg.msg, now, {}, trace_id);
   if (choice.matcher == kInvalidNode) {
     ++dropped_no_candidate_;
+    m_dropped_->inc();
     return;
   }
   if (config_.reliable_delivery) {

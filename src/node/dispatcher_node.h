@@ -19,6 +19,8 @@
 #include "core/partition_strategy.h"
 #include "core/segment_view.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bluedove {
 
@@ -57,6 +59,11 @@ struct DispatcherConfig {
   /// Consecutive saturated checks required before requesting capacity.
   int auto_scale_patience = 2;
   double auto_scale_cooldown = 30.0;
+
+  /// Fraction of publications given a pipeline trace id (obs/trace.h).
+  /// 0 disables sampling entirely — the publish hot path then pays exactly
+  /// one branch and draws no random numbers; 1 traces every message.
+  double trace_sample_rate = 0.0;
 };
 
 class DispatcherNode final : public Node {
@@ -83,6 +90,8 @@ class DispatcherNode final : public Node {
   std::uint64_t retries_exhausted() const { return retries_exhausted_; }
   std::size_t pending_unacked() const { return pending_.size(); }
   const char* policy_name() const { return policy_->name(); }
+  /// Node-local observability registry. Snapshot-safe from any thread.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct PendingMessage {
@@ -101,9 +110,11 @@ class DispatcherNode final : public Node {
   void handle_join(NodeId from);
 
   /// Forwards a message to the best candidate; returns the choice made
-  /// (kInvalidNode matcher when no candidate exists).
+  /// (kInvalidNode matcher when no candidate exists). A non-zero `trace_id`
+  /// rides along in the MatchRequest for the pipeline-trace breakdown.
   Assignment forward(const Message& msg, Timestamp dispatched_at,
-                     const std::vector<NodeId>& exclude);
+                     const std::vector<NodeId>& exclude,
+                     obs::TraceId trace_id = 0);
   void retry_scan();
 
   void pull_table();
@@ -113,6 +124,14 @@ class DispatcherNode final : public Node {
   NodeId id_;
   DispatcherConfig config_;
   NodeContext* ctx_ = nullptr;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_published_ = nullptr;
+  obs::Counter* m_forwarded_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_sampled_ = nullptr;     ///< publications given a trace id
+  obs::Counter* m_stats_reqs_ = nullptr;  ///< StatsRequest scrapes answered
+  std::uint64_t trace_seq_ = 0;           ///< per-dispatcher trace id counter
 
   ClusterTable table_;
   SegmentView view_;

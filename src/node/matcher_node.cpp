@@ -6,12 +6,21 @@
 #include "common/logging.h"
 #include "index/linear_scan_index.h"
 #include "index/subscription_store.h"
+#include "obs/export.h"
 
 namespace bluedove {
 
 MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
     : id_(id), config_(std::move(config)), gossiper_(id, config_.gossip) {
   const std::size_t k = config_.domains.size();
+  // Register instruments once and cache the pointers: the hot path then
+  // touches only relaxed atomics.
+  m_requests_ = &metrics_.counter("matcher.requests");
+  m_matched_ = &metrics_.counter("matcher.matched");
+  m_deliveries_ = &metrics_.counter("matcher.deliveries");
+  m_stats_reqs_ = &metrics_.counter("matcher.stats_requests");
+  m_queue_lat_ = &metrics_.histogram("matcher.queue_seconds");
+  m_match_lat_ = &metrics_.histogram("matcher.match_seconds");
   // Arena-backed engines share one per-matcher store across the k
   // dimension indexes, so a subscription copied into several sets is still
   // held once.
@@ -23,6 +32,9 @@ MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
   for (std::size_t d = 0; d < k; ++d) {
     sets_[d].index = make_index(config_.index_kind, static_cast<DimId>(d),
                                 config_.domains[d], store);
+    const std::string prefix = "matcher.dim" + std::to_string(d);
+    sets_[d].queue_depth = &metrics_.gauge(prefix + ".queue_depth");
+    sets_[d].queue_high_water = &metrics_.gauge(prefix + ".queue_high_water");
   }
   wide_ = std::make_unique<LinearScanIndex>(static_cast<DimId>(0));
   joined_dims_.assign(k, false);
@@ -75,6 +87,8 @@ void MatcherNode::on_receive(NodeId from, Envelope env) {
           handle_table_pull(from);
         } else if constexpr (std::is_same_v<T, TablePullResp>) {
           handle_table_resp(msg);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          handle_stats(from);
         } else {
           BD_DEBUG("matcher ", id_, " ignoring ", payload_name(env));
         }
@@ -127,7 +141,15 @@ void MatcherNode::handle_match_request(MatchRequest msg) {
   if (left_ || msg.dim >= dims()) return;
   DimSet& set = sets_[msg.dim];
   ++set.arrived_in_window;
+  m_requests_->inc();
+  // Stamp the enqueue hop on every request (one double store); whether the
+  // stamps travel back on the wire is still gated by trace_id, but locally
+  // they feed the queue/match latency histograms for all traffic.
+  msg.hops.enqueued_at = ctx_->now();
   set.queue.push_back(std::move(msg));
+  const auto depth = static_cast<double>(set.queue.size());
+  set.queue_depth->set(depth);
+  set.queue_high_water->record_max(depth);
   pump();
 }
 
@@ -152,6 +174,7 @@ void MatcherNode::pump() {
       batch.push_back(std::move(chosen->queue.front()));
       chosen->queue.pop_front();
     }
+    chosen->queue_depth->set(static_cast<double>(chosen->queue.size()));
     ++busy_cores_;
     service_batch(std::move(batch));
   }
@@ -187,6 +210,10 @@ void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
   }
 
   const Timestamp service_start = ctx_->now();
+  for (MatchRequest& req : reqs) {
+    req.hops.match_start = service_start;
+    m_queue_lat_->record(service_start - req.hops.enqueued_at);
+  }
   ctx_->charge(work, [this, reqs = std::move(reqs), work, service_start,
                       hits = std::move(hits), offsets = std::move(offsets),
                       wide_hits = std::move(wide_hits),
@@ -206,8 +233,12 @@ void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
         config_.match_mode == MatcherConfig::MatchMode::kFull &&
         config_.deliver && config_.delivery_sink != kInvalidNode;
     const double work_per_msg = work / static_cast<double>(n);
+    const Timestamp service_end = ctx_->now();
+    const double per_msg_latency = service_end - service_start;
     for (std::size_t i = 0; i < n; ++i) {
       MatchRequest& req = reqs[i];
+      req.hops.match_end = service_end;
+      m_match_lat_->record(per_msg_latency);
       std::uint32_t match_count = 0;
       if (!offsets.empty()) {
         match_count += offsets[i + 1] - offsets[i];
@@ -225,6 +256,8 @@ void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
           d.dispatched_at = req.dispatched_at;
           d.values = req.msg.values;
           d.payload = payload;
+          d.trace_id = req.trace_id;
+          m_deliveries_->inc();
           ctx_->send(config_.delivery_sink, Envelope::of(std::move(d)));
         };
         for (std::uint32_t h = offsets[i]; h < offsets[i + 1]; ++h) {
@@ -246,6 +279,7 @@ void MatcherNode::finish(const MatchRequest& req, std::uint32_t match_count,
   DimSet& set = sets_[req.dim];
   ++set.matched_in_window;
   ++matched_total_;
+  m_matched_->inc();
   if (req.reply_to != kInvalidNode) {
     ctx_->send(req.reply_to, Envelope::of(MatchAck{req.msg.id}));
   }
@@ -257,6 +291,8 @@ void MatcherNode::finish(const MatchRequest& req, std::uint32_t match_count,
     done.dispatched_at = req.dispatched_at;
     done.match_count = match_count;
     done.work_units = work_units;
+    done.trace_id = req.trace_id;
+    if (req.trace_id != 0) done.hops = req.hops;
     ctx_->send(config_.metrics_sink, Envelope::of(done));
   }
 }
@@ -470,6 +506,11 @@ void MatcherNode::handle_table_pull(NodeId from) {
 
 void MatcherNode::handle_table_resp(const TablePullResp& msg) {
   gossiper_.merge_table(msg.table);
+}
+
+void MatcherNode::handle_stats(NodeId from) {
+  m_stats_reqs_->inc();
+  ctx_->send(from, Envelope::of(StatsResponse{obs::to_json(metrics_.snapshot())}));
 }
 
 // --------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "gossip/gossiper.h"
 #include "index/subscription_index.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace bluedove {
 
@@ -91,6 +92,9 @@ class MatcherNode final : public Node {
   std::size_t stored_copies() const;
   std::uint64_t matched_total() const { return matched_total_; }
   Range segment(DimId dim) const;
+  /// Node-local observability registry (counters, queue gauges, stage
+  /// latency histograms). Snapshot-safe from any thread.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct DimSet {
@@ -106,6 +110,9 @@ class MatcherNode final : public Node {
     // Last pushed values, for the >10% change suppression.
     DimLoad last_pushed;
     bool ever_pushed = false;
+    // Per-dimension stage-queue instrumentation (cached registry pointers).
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* queue_high_water = nullptr;
   };
 
   std::size_t dims() const { return sets_.size(); }
@@ -122,6 +129,7 @@ class MatcherNode final : public Node {
   void handle_handover_merge(const HandoverMerge& msg);
   void handle_table_pull(NodeId from);
   void handle_table_resp(const TablePullResp& msg);
+  void handle_stats(NodeId from);
 
   /// Starts servicing queued requests while cores are free.
   void pump();
@@ -142,6 +150,15 @@ class MatcherNode final : public Node {
   NodeId id_;
   MatcherConfig config_;
   NodeContext* ctx_ = nullptr;
+  // Declared before sets_ so the cached instrument pointers in DimSet never
+  // outlive the registry they point into.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_requests_ = nullptr;    ///< MatchRequests accepted
+  obs::Counter* m_matched_ = nullptr;     ///< messages fully serviced
+  obs::Counter* m_deliveries_ = nullptr;  ///< Delivery envelopes sent
+  obs::Counter* m_stats_reqs_ = nullptr;  ///< StatsRequest scrapes answered
+  obs::LatencyHistogram* m_queue_lat_ = nullptr;  ///< enqueue -> match start
+  obs::LatencyHistogram* m_match_lat_ = nullptr;  ///< match start -> end
   Gossiper gossiper_;
   bool has_bootstrap_ = false;
   ClusterTable bootstrap_;

@@ -1,0 +1,35 @@
+#pragma once
+// Machine-readable exports for MetricsSnapshot: a JSON encoding that
+// round-trips (the cluster-wide aggregation path ships snapshots as JSON
+// and merges them on the collector), a Prometheus-style text exposition for
+// scraping / human inspection, and a file writer the benches use to emit
+// their BENCH_<name>.json perf-trajectory records.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bluedove::obs {
+
+/// Serializes a snapshot as a single JSON object:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"unit":1e-9,"count":N,"sum_units":S,
+///                          "counts":[...]}, ...}}
+std::string to_json(const MetricsSnapshot& snap);
+
+/// Parses to_json output back into a snapshot. Returns false (and leaves
+/// `out` partially filled) on malformed input. The parser accepts exactly
+/// the exporter's subset of JSON: objects, arrays, strings, numbers,
+/// insignificant whitespace.
+bool from_json(const std::string& json, MetricsSnapshot& out);
+
+/// Prometheus text exposition (one line per sample; histograms expand to
+/// cumulative le-labelled buckets plus _count / _sum). Metric names have
+/// '.' and '-' mapped to '_' to satisfy the exposition grammar.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Writes to_json(snap) to `path` atomically (temp file + rename).
+/// Returns false on I/O failure.
+bool write_json_file(const std::string& path, const MetricsSnapshot& snap);
+
+}  // namespace bluedove::obs

@@ -1,0 +1,59 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bluedove::obs {
+
+StageBreakdown::StageBreakdown()
+    : dispatch_(&registry_.histogram("trace.dispatch")),
+      queue_(&registry_.histogram("trace.queue")),
+      match_(&registry_.histogram("trace.match")),
+      deliver_(&registry_.histogram("trace.deliver")),
+      total_(&registry_.histogram("trace.end_to_end")) {}
+
+void StageBreakdown::record(Timestamp dispatched_at, const TraceHops& hops,
+                            Timestamp completed_at) {
+  const auto clamp0 = [](double d) { return std::max(d, 0.0); };
+  dispatch_->record(clamp0(hops.enqueued_at - dispatched_at));
+  queue_->record(clamp0(hops.match_start - hops.enqueued_at));
+  match_->record(clamp0(hops.match_end - hops.match_start));
+  deliver_->record(clamp0(completed_at - hops.match_end));
+  total_->record(clamp0(completed_at - dispatched_at));
+}
+
+StageSummary StageBreakdown::summarize(const LatencyHistogram& h) {
+  const HistogramSnapshot snap = h.snapshot();
+  StageSummary s;
+  s.p50 = snap.quantile(0.50);
+  s.p95 = snap.quantile(0.95);
+  s.p99 = snap.quantile(0.99);
+  s.mean = snap.mean();
+  s.count = snap.count;
+  return s;
+}
+
+std::string StageBreakdown::format() const {
+  const struct {
+    const char* name;
+    StageSummary s;
+  } rows[] = {{"dispatch", dispatch()},
+              {"queue", queue()},
+              {"match", match()},
+              {"deliver", deliver()},
+              {"end-to-end", end_to_end()}};
+  std::string out =
+      "stage          p50 ms     p95 ms     p99 ms    mean ms      count\n";
+  char line[128];
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof line,
+                  "%-10s %10.3f %10.3f %10.3f %10.3f %10llu\n", row.name,
+                  row.s.p50 * 1e3, row.s.p95 * 1e3, row.s.p99 * 1e3,
+                  row.s.mean * 1e3,
+                  static_cast<unsigned long long>(row.s.count));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bluedove::obs

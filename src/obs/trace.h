@@ -1,0 +1,84 @@
+#pragma once
+// Per-message pipeline tracing support.
+//
+// A sampled message carries a non-zero trace id and per-hop timestamps in
+// its MatchRequest / MatchCompleted envelopes (client publish -> dispatcher
+// accept -> matcher enqueue -> match start -> match end -> sink arrival).
+// The hop stamps partition the end-to-end latency into four stages:
+//
+//   dispatch  dispatcher accept -> matcher enqueue (dispatch work + 1 hop)
+//   queue     matcher enqueue   -> match start     (SEDA queueing delay)
+//   match     match start       -> match end       (index probe + fan-out)
+//   deliver   match end         -> sink arrival    (1 hop to the subscriber
+//                                                   proxy / metrics sink)
+//
+// StageBreakdown accumulates one latency histogram per stage plus the
+// end-to-end total, so p50/p95/p99 can be reported per stage instead of one
+// opaque number. The stage stamps are a partition of [dispatched_at, now],
+// so the stage means sum exactly to the end-to-end mean.
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace bluedove::obs {
+
+/// Non-zero for sampled messages; 0 means "not traced" and every tracing
+/// hook reduces to one branch.
+using TraceId = std::uint64_t;
+
+/// Hop timestamps carried by a traced message (all on the shared Timestamp
+/// axis; 0 until the hop happens).
+struct TraceHops {
+  Timestamp enqueued_at = 0.0;   ///< arrival in the matcher's dim queue
+  Timestamp match_start = 0.0;   ///< dequeued, service begins
+  Timestamp match_end = 0.0;     ///< service complete, deliveries sent
+};
+
+struct StageSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Collector-side accumulator for traced messages.
+class StageBreakdown {
+ public:
+  StageBreakdown();
+
+  /// Records one traced message from its hop stamps. `dispatched_at` is the
+  /// dispatcher-accept time, `completed_at` the sink-arrival time.
+  void record(Timestamp dispatched_at, const TraceHops& hops,
+              Timestamp completed_at);
+
+  std::uint64_t traced() const { return total_->count(); }
+
+  StageSummary dispatch() const { return summarize(*dispatch_); }
+  StageSummary queue() const { return summarize(*queue_); }
+  StageSummary match() const { return summarize(*match_); }
+  StageSummary deliver() const { return summarize(*deliver_); }
+  StageSummary end_to_end() const { return summarize(*total_); }
+
+  /// The underlying registry ("trace.dispatch" ... "trace.end_to_end"), for
+  /// merging into cluster-wide snapshots and the JSON/Prometheus exporters.
+  const MetricsRegistry& registry() const { return registry_; }
+
+  /// Renders the per-stage table ("stage p50 p95 p99 mean", ms) for logs.
+  std::string format() const;
+
+ private:
+  static StageSummary summarize(const LatencyHistogram& h);
+
+  MetricsRegistry registry_;
+  LatencyHistogram* dispatch_;
+  LatencyHistogram* queue_;
+  LatencyHistogram* match_;
+  LatencyHistogram* deliver_;
+  LatencyHistogram* total_;
+};
+
+}  // namespace bluedove::obs

@@ -1,6 +1,7 @@
 #include "runtime/thread_cluster.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
 
@@ -48,6 +49,9 @@ struct ThreadCluster::NodeRuntime {
   bool started = false;
   std::thread thread;
   std::size_t inbox_capacity = 65536;
+  /// SEDA-stage instrumentation for the task queue (messages + deferred
+  /// completions): depth, high-water mark, drops when the inbox is full.
+  QueueStats inbox_stats;
 };
 
 ThreadCluster::ThreadCluster(ThreadClusterConfig config)
@@ -135,11 +139,13 @@ void ThreadCluster::enqueue(NodeId to, NodeId from, Envelope env) {
     std::lock_guard lock(rt->mu);
     if (rt->stopping || rt->tasks.size() >= rt->inbox_capacity) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      rt->inbox_stats.dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     rt->tasks.push_back([rt, from, env = std::move(env)]() mutable {
       rt->node->on_receive(from, std::move(env));
     });
+    rt->inbox_stats.on_enqueue();
   }
   rt->cv.notify_one();
 }
@@ -165,6 +171,7 @@ void ThreadCluster::node_loop(NodeRuntime& rt) {
     if (!rt.tasks.empty()) {
       auto task = std::move(rt.tasks.front());
       rt.tasks.pop_front();
+      rt.inbox_stats.on_dequeue();
       lock.unlock();
       task();
       lock.lock();
@@ -223,8 +230,37 @@ void ThreadCluster::Context::charge(double /*work_units*/,
     std::lock_guard lock(rt->mu);
     if (rt->stopping) return;
     rt->tasks.push_back(std::move(done));
+    rt->inbox_stats.on_enqueue();
   }
   rt->cv.notify_one();
+}
+
+const QueueStats* ThreadCluster::inbox_stats(NodeId id) const {
+  auto* self = const_cast<ThreadCluster*>(this);
+  NodeRuntime* rt = self->runtime(id);
+  return rt != nullptr ? &rt->inbox_stats : nullptr;
+}
+
+obs::MetricsSnapshot ThreadCluster::metrics_snapshot() const {
+  obs::MetricsSnapshot snap;
+  std::lock_guard lock(nodes_mu_);
+  for (const auto& [id, rt] : nodes_) {
+    const QueueStats& s = rt->inbox_stats;
+    const std::string prefix = "runtime.node" + std::to_string(id);
+    snap.gauges[prefix + ".inbox_depth"] =
+        static_cast<double>(s.depth.load(std::memory_order_relaxed));
+    snap.gauges[prefix + ".inbox_high_water"] =
+        static_cast<double>(s.high_water.load(std::memory_order_relaxed));
+    snap.counters[prefix + ".inbox_enqueued"] =
+        s.enqueued.load(std::memory_order_relaxed);
+    snap.counters[prefix + ".inbox_dequeued"] =
+        s.dequeued.load(std::memory_order_relaxed);
+    snap.counters[prefix + ".inbox_dropped"] =
+        s.dropped.load(std::memory_order_relaxed);
+  }
+  snap.counters["runtime.dropped_messages"] =
+      dropped_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 }  // namespace bluedove::runtime

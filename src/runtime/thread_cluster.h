@@ -18,8 +18,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/rng.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace bluedove::runtime {
 
@@ -66,6 +68,16 @@ class ThreadCluster {
   void inject(NodeId to, Envelope env);
 
   std::uint64_t dropped_messages() const { return dropped_.load(); }
+
+  /// Inbox instrumentation for one node (depth, high-water mark, enqueue /
+  /// dequeue / drop counts); nullptr when the node is unknown. The fields
+  /// are relaxed atomics, safe to read while the node runs.
+  const QueueStats* inbox_stats(NodeId id) const;
+
+  /// Substrate-level metrics: per-node inbox gauges/counters plus the
+  /// cluster-wide drop total, named so they merge cleanly with the nodes'
+  /// own registries in a cluster snapshot.
+  obs::MetricsSnapshot metrics_snapshot() const;
 
  private:
   struct NodeRuntime;

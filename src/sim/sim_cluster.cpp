@@ -152,6 +152,22 @@ int SimCluster::cores(NodeId id) const {
   return rec != nullptr ? rec->cores : 0;
 }
 
+obs::MetricsSnapshot SimCluster::metrics_snapshot() const {
+  obs::MetricsSnapshot snap;
+  for (const auto& [id, rec] : records_) {
+    const std::string prefix = "sim.node" + std::to_string(id);
+    snap.counters[prefix + ".msgs_sent"] = rec->traffic.msgs_sent;
+    snap.counters[prefix + ".msgs_received"] = rec->traffic.msgs_received;
+    snap.counters[prefix + ".bytes_sent"] = rec->traffic.bytes_sent;
+    snap.counters[prefix + ".bytes_received"] = rec->traffic.bytes_received;
+    snap.gauges[prefix + ".busy_seconds"] = rec->busy_seconds;
+    snap.gauges[prefix + ".alive"] = rec->alive ? 1.0 : 0.0;
+  }
+  snap.counters["sim.lost_match_requests"] = lost_match_requests_;
+  snap.counters["sim.dropped_messages"] = dropped_messages_;
+  return snap;
+}
+
 // ---------------------------------------------------------------------------
 // Context
 // ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 
 namespace bluedove::sim {
@@ -92,6 +93,12 @@ class SimCluster {
   std::uint64_t lost_match_requests() const { return lost_match_requests_; }
   /// All messages dropped due to dead targets, any type.
   std::uint64_t dropped_messages() const { return dropped_messages_; }
+
+  /// Substrate-level metrics: per-node traffic counters and busy-time
+  /// gauges plus cluster-wide drop totals, in the obs naming scheme so they
+  /// merge with node registries. Deterministic for a fixed seed (all values
+  /// derive from virtual time and counted events).
+  obs::MetricsSnapshot metrics_snapshot() const;
 
   const SimConfig& config() const { return config_; }
 

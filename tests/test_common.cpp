@@ -8,6 +8,7 @@
 
 #include "common/bounded_queue.h"
 #include "common/cli.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "common/stats.h"
@@ -178,6 +179,37 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
 }
 
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);  // one sample per bucket
+  EXPECT_LE(h.quantile(0.0), 1.0);  // within the first occupied bucket
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeEqualsSequential) {
+  Histogram a(0.0, 10.0, 20);
+  Histogram b(0.0, 10.0, 20);
+  Histogram both(0.0, 10.0, 20);
+  for (int i = 0; i < 100; ++i) {
+    const double xa = (i % 10) + 0.1;
+    const double xb = (i % 7) + 0.4;
+    a.add(xa);
+    b.add(xb);
+    both.add(xa);
+    both.add(xb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), both.total());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), both.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), both.quantile(0.5));
+}
+
 TEST(LinearRegression, RecoverSlope) {
   std::vector<double> xs, ys;
   for (int i = 0; i < 50; ++i) {
@@ -297,6 +329,44 @@ TEST(BoundedQueue, ProducerConsumerThreads) {
 // ---------------------------------------------------------------------------
 // CliArgs
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// logging
+// ---------------------------------------------------------------------------
+
+TEST(Logger, LevelFlipIsRaceFree) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  std::atomic<bool> stop{false};
+  // Readers hammer enabled() while the main thread flips the level, the
+  // pattern tsan flagged before level_ became atomic.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)log.enabled(LogLevel::kInfo);
+      }
+    });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    log.set_level(i % 2 == 0 ? LogLevel::kDebug : LogLevel::kOff);
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  log.set_level(before);
+  EXPECT_EQ(log.level(), before);
+}
+
+TEST(Logger, EnabledRespectsThreshold) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+  log.set_level(before);
+}
 
 TEST(CliArgs, ParsesAllForms) {
   const char* argv[] = {"prog",     "run",          "--rate=100",

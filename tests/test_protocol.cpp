@@ -183,6 +183,61 @@ TEST(Envelope, ControlAndElasticityRoundTrips) {
   EXPECT_EQ(std::get<HandoverMerge>(merge_back.payload).subs.size(), 2u);
 }
 
+TEST(Envelope, TracedMatchRequestRoundTrip) {
+  MatchRequest req{sample_msg(), 2, 10.0};
+  req.trace_id = 0xabcdef0123ull;
+  req.hops.enqueued_at = 10.25;
+  req.hops.match_start = 10.5;
+  req.hops.match_end = 10.75;
+  const auto back = round_trip(Envelope::of(req));
+  const auto& got = std::get<MatchRequest>(back.payload);
+  EXPECT_EQ(got.trace_id, req.trace_id);
+  EXPECT_DOUBLE_EQ(got.hops.enqueued_at, 10.25);
+  EXPECT_DOUBLE_EQ(got.hops.match_start, 10.5);
+  EXPECT_DOUBLE_EQ(got.hops.match_end, 10.75);
+
+  // Untraced requests must not pay for hop stamps on the wire: trace_id 0
+  // serializes as a single varint byte and the hops are omitted.
+  MatchRequest plain{sample_msg(), 2, 10.0};
+  MatchRequest traced = plain;
+  traced.trace_id = 1;
+  EXPECT_EQ(wire_size(Envelope::of(traced)),
+            wire_size(Envelope::of(plain)) + 3 * sizeof(double));
+}
+
+TEST(Envelope, TracedMatchCompletedRoundTrip) {
+  MatchCompleted m;
+  m.msg_id = 5;
+  m.matcher = 1001;
+  m.trace_id = (1001ull << 40) | 7;
+  m.hops.enqueued_at = 1.0;
+  m.hops.match_start = 2.0;
+  m.hops.match_end = 3.0;
+  const auto back = round_trip(Envelope::of(m));
+  const auto& got = std::get<MatchCompleted>(back.payload);
+  EXPECT_EQ(got.trace_id, m.trace_id);
+  EXPECT_DOUBLE_EQ(got.hops.match_end, 3.0);
+}
+
+TEST(Envelope, TracedDeliveryRoundTrip) {
+  Delivery d;
+  d.msg_id = 9;
+  d.trace_id = 77;
+  const auto back = round_trip(Envelope::of(d));
+  EXPECT_EQ(std::get<Delivery>(back.payload).trace_id, 77u);
+}
+
+TEST(Envelope, StatsRoundTrips) {
+  round_trip(Envelope::of(StatsRequest{}));
+  EXPECT_STREQ(payload_name(Envelope::of(StatsRequest{})), "StatsRequest");
+
+  StatsResponse resp;
+  resp.json = "{\"counters\":{\"matcher.requests\":42}}";
+  const auto back = round_trip(Envelope::of(resp));
+  EXPECT_EQ(std::get<StatsResponse>(back.payload).json, resp.json);
+  EXPECT_STREQ(payload_name(back), "StatsResponse");
+}
+
 TEST(Envelope, WireSizeAndNames) {
   const Envelope env = Envelope::of(LoadReport{});
   EXPECT_GT(wire_size(env), 0u);

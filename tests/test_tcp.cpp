@@ -34,7 +34,10 @@ bool eventually(const std::function<bool()>& pred, double seconds = 10.0) {
 
 class CountingNode final : public Node {
  public:
-  void start(NodeContext& ctx) override { ctx_ = &ctx; }
+  // Atomic: start() runs on the host's node thread while the tests poll
+  // ctx() from the main thread.
+  void start(NodeContext& ctx) override { ctx_.store(&ctx); }
+  NodeContext* ctx() const { return ctx_.load(); }
   void on_receive(NodeId from, Envelope env) override {
     last_from.store(from);
     if (std::holds_alternative<ClientPublish>(env.payload)) {
@@ -42,10 +45,10 @@ class CountingNode final : public Node {
     }
     total.fetch_add(1);
     if (echo_to != kInvalidNode) {
-      ctx_->send(echo_to, Envelope::of(JoinRequest{}));
+      ctx_.load()->send(echo_to, Envelope::of(JoinRequest{}));
     }
   }
-  NodeContext* ctx_ = nullptr;
+  std::atomic<NodeContext*> ctx_{nullptr};
   NodeId echo_to = kInvalidNode;
   std::atomic<NodeId> last_from{kInvalidNode};
   std::atomic<int> publishes{0};
@@ -78,8 +81,8 @@ TEST(TcpHost, HostToHostCarriesSenderIdBothWays) {
   b.add_peer(1, TcpEndpoint{"127.0.0.1", a.port()});
   a.start();
   b.start();
-  ASSERT_TRUE(eventually([&] { return na->ctx_ != nullptr; }));
-  na->ctx_->send(2, Envelope::of(ClientPublish{}));
+  ASSERT_TRUE(eventually([&] { return na->ctx() != nullptr; }));
+  na->ctx()->send(2, Envelope::of(ClientPublish{}));
   EXPECT_TRUE(eventually([&] { return nb->publishes.load() == 1; }));
   EXPECT_EQ(nb->last_from.load(), 1u);
   EXPECT_TRUE(eventually([&] { return na->total.load() == 1; }));
@@ -92,8 +95,8 @@ TEST(TcpHost, SendToUnknownPeerCountsDrop) {
   TcpHost a(1, 0, std::make_unique<CountingNode>());
   auto* na = a.node_as<CountingNode>();
   a.start();
-  ASSERT_TRUE(eventually([&] { return na->ctx_ != nullptr; }));
-  na->ctx_->send(99, Envelope::of(JoinRequest{}));
+  ASSERT_TRUE(eventually([&] { return na->ctx() != nullptr; }));
+  na->ctx()->send(99, Envelope::of(JoinRequest{}));
   EXPECT_TRUE(eventually([&] { return a.dropped_sends() == 1; }));
   a.stop();
 }
@@ -106,15 +109,15 @@ TEST(TcpHost, SendToDeadPeerCountsDropAndRecovers) {
   a.add_peer(2, TcpEndpoint{"127.0.0.1", b_port});
   a.start();
   b->start();
-  ASSERT_TRUE(eventually([&] { return na->ctx_ != nullptr; }));
-  na->ctx_->send(2, Envelope::of(ClientPublish{}));
+  ASSERT_TRUE(eventually([&] { return na->ctx() != nullptr; }));
+  na->ctx()->send(2, Envelope::of(ClientPublish{}));
   EXPECT_TRUE(eventually(
       [&] { return b->node_as<CountingNode>()->publishes.load() == 1; }));
   b->stop();
   b.reset();
   // Now b is gone; sends drop (possibly after one buffered success).
   EXPECT_TRUE(eventually([&] {
-    na->ctx_->send(2, Envelope::of(ClientPublish{}));
+    na->ctx()->send(2, Envelope::of(ClientPublish{}));
     return a.dropped_sends() > 0;
   }));
   a.stop();
@@ -124,11 +127,11 @@ TEST(TcpHost, TimersFire) {
   TcpHost a(1, 0, std::make_unique<CountingNode>());
   auto* na = a.node_as<CountingNode>();
   a.start();
-  ASSERT_TRUE(eventually([&] { return na->ctx_ != nullptr; }));
+  ASSERT_TRUE(eventually([&] { return na->ctx() != nullptr; }));
   std::atomic<int> fired{0};
-  na->ctx_->set_timer(0.05, [&] { fired.fetch_add(1); });
-  const TimerId cancelled = na->ctx_->set_timer(0.05, [&] { fired.fetch_add(1); });
-  na->ctx_->cancel_timer(cancelled);
+  na->ctx()->set_timer(0.05, [&] { fired.fetch_add(1); });
+  const TimerId cancelled = na->ctx()->set_timer(0.05, [&] { fired.fetch_add(1); });
+  na->ctx()->cancel_timer(cancelled);
   EXPECT_TRUE(eventually([&] { return fired.load() == 1; }, 5.0));
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   EXPECT_EQ(fired.load(), 1);

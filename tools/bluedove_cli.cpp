@@ -5,6 +5,7 @@
 //   run        steady-state run at a fixed rate; prints rt / load / loss
 //   crash      fault-injection run (kill matchers periodically)
 //   scale      elasticity run (auto-scaler on, rising rate)
+//   stats      scrape a live bluedove_noded over TCP and print its metrics
 //
 // Common options (defaults mirror the paper's §IV-B setup, scaled):
 //   --system=bluedove|p2p|full-rep     --matchers=N        --dispatchers=N
@@ -14,17 +15,32 @@
 //   --match-batch=N   --msg-skew=J     --seed=N
 //   --reliable        --cores=N
 //
+// Pipeline tracing (run): --trace-sample=R samples a fraction R of the
+// publications and prints the per-stage latency breakdown (dispatch /
+// queue / match / deliver) at the end; --stats-json=PATH additionally
+// writes the merged cluster metrics snapshot as JSON.
+//
+// stats options:
+//   --peer=host:port   the noded to scrape (required)
+//   --prom             print Prometheus text exposition instead of a table
+//   --json             print the raw JSON snapshot
+//   --timeout=SEC      reply wait (default 5)
+//
 // Examples:
 //   bluedove_cli saturate --system=p2p --matchers=10
 //   bluedove_cli run --rate=20000 --duration=60
+//   bluedove_cli run --rate=5000 --duration=30 --trace-sample=0.1
 //   bluedove_cli crash --rate=10000 --kill-every=60 --kills=4
 //   bluedove_cli scale --step=500 --step-secs=30 --steps=12
+//   bluedove_cli stats --peer=127.0.0.1:8000
 
 #include <cstdio>
 #include <string>
 
 #include "common/cli.h"
 #include "harness/experiment.h"
+#include "net/tcp_transport.h"
+#include "obs/export.h"
 
 using namespace bluedove;
 
@@ -118,6 +134,8 @@ int cmd_saturate(const CliArgs& args) {
 
 int cmd_run(const CliArgs& args) {
   ExperimentConfig cfg = config_from(args);
+  cfg.trace_sample_rate = args.get_double("trace-sample", 0.0);
+  if (cfg.trace_sample_rate > 0.0) cfg.full_matching = true;
   const double rate = args.get_double("rate", 10000.0);
   const double duration = args.get_double("duration", 60.0);
   Deployment dep(cfg);
@@ -135,6 +153,77 @@ int cmd_run(const CliArgs& args) {
   const OnlineStats loads = dep.loads().distribution(dep.matcher_ids());
   std::printf("\nCPU load: mean=%.1f%% normalized stdev=%.2f\n",
               100.0 * loads.mean(), loads.normalized_stdev());
+  if (cfg.trace_sample_rate > 0.0) {
+    std::printf("\npipeline breakdown (%llu traced):\n%s",
+                (unsigned long long)dep.breakdown().traced(),
+                dep.breakdown().format().c_str());
+  }
+  const std::string stats_path = args.get("stats-json", "");
+  if (!stats_path.empty()) {
+    if (obs::write_json_file(stats_path, dep.cluster_snapshot())) {
+      std::printf("cluster metrics snapshot written to %s\n",
+                  stats_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", stats_path.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(const CliArgs& args) {
+  const std::string peer = args.get("peer", "");
+  const auto colon = peer.rfind(':');
+  if (peer.empty() || colon == std::string::npos) {
+    std::fprintf(stderr, "stats: --peer=host:port is required\n");
+    return 2;
+  }
+  net::TcpEndpoint ep;
+  ep.host = peer.substr(0, colon);
+  ep.port = static_cast<std::uint16_t>(std::stoul(peer.substr(colon + 1)));
+  const auto self = static_cast<NodeId>(args.get_int("id", 999999));
+  Envelope resp;
+  if (!net::TcpHost::request_reply(ep, self, Envelope::of(StatsRequest{}),
+                                   &resp, args.get_double("timeout", 5.0))) {
+    std::fprintf(stderr, "stats: no response from %s\n", peer.c_str());
+    return 1;
+  }
+  const auto* sr = std::get_if<StatsResponse>(&resp.payload);
+  if (sr == nullptr) {
+    std::fprintf(stderr, "stats: unexpected reply %s\n", payload_name(resp));
+    return 1;
+  }
+  if (args.get_bool("json", false)) {
+    std::printf("%s\n", sr->json.c_str());
+    return 0;
+  }
+  obs::MetricsSnapshot snap;
+  if (!obs::from_json(sr->json, snap)) {
+    std::fprintf(stderr, "stats: malformed snapshot JSON:\n%s\n",
+                 sr->json.c_str());
+    return 1;
+  }
+  if (args.get_bool("prom", false)) {
+    std::fputs(obs::to_prometheus(snap).c_str(), stdout);
+    return 0;
+  }
+  if (!snap.counters.empty()) std::printf("counters:\n");
+  for (const auto& [name, v] : snap.counters) {
+    std::printf("  %-40s %llu\n", name.c_str(), (unsigned long long)v);
+  }
+  if (!snap.gauges.empty()) std::printf("gauges:\n");
+  for (const auto& [name, v] : snap.gauges) {
+    std::printf("  %-40s %.6g\n", name.c_str(), v);
+  }
+  if (!snap.histograms.empty()) {
+    std::printf("histograms (ms):%28s %10s %10s %10s %10s\n", "count", "p50",
+                "p95", "p99", "mean");
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::printf("  %-40s %10llu %10.3f %10.3f %10.3f %10.3f\n", name.c_str(),
+                (unsigned long long)h.count, h.quantile(0.50) * 1e3,
+                h.quantile(0.95) * 1e3, h.quantile(0.99) * 1e3,
+                h.mean() * 1e3);
+  }
   return 0;
 }
 
@@ -209,6 +298,8 @@ int main(int argc, char** argv) {
     rc = cmd_crash(args);
   } else if (cmd == "scale") {
     rc = cmd_scale(args);
+  } else if (cmd == "stats") {
+    rc = cmd_stats(args);
   } else {
     return usage();
   }

@@ -11,6 +11,14 @@
 //   --dims=K --domain=L              schema (default 4 x [0,1000))
 //   --index=bucket|flat-bucket|interval-tree|linear-scan   (matcher only)
 //   --match-batch=N                  matcher batch drain depth (default 1)
+//   --trace-sample=R                 dispatcher trace sampling rate [0,1]
+//   --stats-json=PATH                periodically write the node's metrics
+//                                    snapshot as JSON to PATH
+//   --stats-interval=SEC             snapshot cadence (default 5 s)
+//
+// Live scraping: matchers and dispatchers answer StatsRequest envelopes
+// with a StatsResponse carrying their metrics registry as JSON; use
+// `bluedove_cli stats --peer=host:port` against any of them.
 //
 // Example 3-matcher cluster on one machine:
 //   bluedove_noded --role=sink       --id=2    --port=7002 &
@@ -30,6 +38,8 @@
 #include "net/tcp_transport.h"
 #include "node/dispatcher_node.h"
 #include "node/matcher_node.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 using namespace bluedove;
 
@@ -120,6 +130,7 @@ int main(int argc, char** argv) {
     DispatcherConfig cfg;
     cfg.domains = domains;
     cfg.reliable_delivery = args.get_bool("reliable", false);
+    cfg.trace_sample_rate = args.get_double("trace-sample", 0.0);
     auto dispatcher = std::make_unique<DispatcherNode>(id, cfg);
     if (!cluster.empty()) {
       dispatcher->set_bootstrap(bootstrap_table(cluster, domains));
@@ -157,9 +168,33 @@ int main(int argc, char** argv) {
   std::printf("bluedove_noded role=%s id=%u listening on 127.0.0.1:%u\n",
               role.c_str(), id, host.port());
   std::fflush(stdout);
+
+  // Periodic machine-readable export: write the node's metrics registry to
+  // --stats-json every --stats-interval seconds (snapshots read the
+  // registry's atomics, so scraping never blocks the node thread).
+  const std::string stats_path = args.get("stats-json", "");
+  const double stats_interval = args.get_double("stats-interval", 5.0);
+  auto snapshot_now = [&]() -> obs::MetricsSnapshot {
+    if (role == "matcher") return host.node_as<MatcherNode>()->metrics().snapshot();
+    if (role == "dispatcher")
+      return host.node_as<DispatcherNode>()->metrics().snapshot();
+    return {};
+  };
+  double since_stats = 0.0;
   while (!g_stop) {
     struct timespec ts{0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
+    if (stats_path.empty() || role == "sink") continue;
+    since_stats += 0.1;
+    if (since_stats >= stats_interval) {
+      since_stats = 0.0;
+      if (!obs::write_json_file(stats_path, snapshot_now())) {
+        std::fprintf(stderr, "failed to write %s\n", stats_path.c_str());
+      }
+    }
+  }
+  if (!stats_path.empty() && role != "sink") {
+    obs::write_json_file(stats_path, snapshot_now());  // final snapshot
   }
   host.stop();
   return 0;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer (-DBLUEDOVE_TSAN=ON) and runs the
+# concurrency-sensitive suites under it: the thread-cluster runtime, the TCP
+# transport, the node logic they drive, and the obs metrics hot path (relaxed
+# atomics updated from matcher worker threads while snapshots read them).
+#
+# Usage: tools/tsan_check.sh [ctest-args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBLUEDOVE_TSAN=ON
+cmake --build "${build_dir}" -j "${jobs}"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+  -R 'Tcp|ThreadCluster|Logger|Registry|BoundedQueue|LatencyHistogram' "$@"
