@@ -1,0 +1,215 @@
+// micro_wire — loopback TCP wire-path benchmark.
+//
+// Measures the outbound wire path of net::TcpHost between two hosts on
+// 127.0.0.1, sweeping the wire batch size (1 = the synchronous
+// frame-per-message path, >1 = the queued writer pool with frame
+// coalescing) against two payload sizes:
+//
+//   throughput  blast N publications and time until the receiver has
+//               counted all of them
+//   latency     ping-pong round trips (publish -> MatchAck) through an
+//               otherwise idle wire, so the flush linger shows up
+//
+// Emits BENCH_wire.json (obs JSON schema): one gauge per
+// (batch, payload) throughput cell, speedup gauges vs batch=1, and one
+// RTT histogram per batch setting.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench_util.h"
+#include "net/tcp_transport.h"
+
+using namespace bluedove;
+
+namespace {
+
+/// Counts publications; optionally acks each one back to its sender. Also
+/// exposes its context so the bench main thread can drive sends.
+class BenchNode final : public Node {
+ public:
+  explicit BenchNode(bool echo) : echo_(echo) {}
+
+  void start(NodeContext& ctx) override {
+    ctx_.store(&ctx, std::memory_order_release);
+  }
+
+  void on_receive(NodeId from, Envelope env) override {
+    if (const auto* p = std::get_if<ClientPublish>(&env.payload)) {
+      received_.fetch_add(1, std::memory_order_relaxed);
+      if (echo_) {
+        ctx_.load(std::memory_order_acquire)
+            ->send(from, Envelope::of(MatchAck{p->msg.id}));
+      }
+    } else if (std::holds_alternative<MatchAck>(env.payload)) {
+      acks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  NodeContext* ctx() const { return ctx_.load(std::memory_order_acquire); }
+  std::uint64_t received() const {
+    return received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t acks() const { return acks_.load(std::memory_order_relaxed); }
+
+ private:
+  const bool echo_;
+  std::atomic<NodeContext*> ctx_{nullptr};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> acks_{0};
+};
+
+NodeContext* wait_ctx(const BenchNode* node) {
+  while (node->ctx() == nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return node->ctx();
+}
+
+Envelope make_publish(MessageId id, const std::string& payload) {
+  Message msg;
+  msg.id = id;
+  msg.values = {1.0, 2.0, 3.0, 4.0};
+  msg.payload = payload;
+  return Envelope::of(ClientPublish{std::move(msg)});
+}
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Blasts `n` publications sender -> receiver and returns msgs/sec counted
+/// at the receiver. The send queue is sized to hold the whole blast so the
+/// measurement is of the wire, not of backpressure drops.
+double run_throughput(int batch, std::size_t payload_bytes, std::uint64_t n) {
+  auto recv_node = std::make_unique<BenchNode>(/*echo=*/false);
+  BenchNode* recv = recv_node.get();
+  net::TcpHost receiver(1, 0, std::move(recv_node));
+  receiver.start();
+
+  net::WireConfig wire;
+  wire.batch = batch;
+  wire.flush_interval = batch > 1 ? 0.0005 : 0.0;
+  wire.queue_capacity = static_cast<std::size_t>(n) + 64;
+  auto send_node = std::make_unique<BenchNode>(/*echo=*/false);
+  BenchNode* send = send_node.get();
+  net::TcpHost sender(2, 0, std::move(send_node), 42, wire);
+  sender.add_peer(1, {"127.0.0.1", receiver.port()});
+  sender.start();
+  NodeContext* ctx = wait_ctx(send);
+
+  const std::string payload(payload_bytes, 'x');
+  const double t0 = now_sec();
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    ctx->send(1, make_publish(i, payload));
+  }
+  const double deadline = now_sec() + 60.0;
+  while (recv->received() < n && now_sec() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const double elapsed = now_sec() - t0;
+  const std::uint64_t got = recv->received();
+  sender.stop();
+  receiver.stop();
+  if (got < n) {
+    std::fprintf(stderr, "micro_wire: only %llu/%llu delivered (batch=%d)\n",
+                 (unsigned long long)got, (unsigned long long)n, batch);
+  }
+  return static_cast<double>(got) / elapsed;
+}
+
+/// Ping-pong RTTs through an idle wire: one in-flight message at a time,
+/// acked synchronously by the receiver. Records seconds into `hist`.
+void run_latency(int batch, std::uint64_t rounds, obs::LatencyHistogram* hist) {
+  auto recv_node = std::make_unique<BenchNode>(/*echo=*/true);
+  net::TcpHost receiver(1, 0, std::move(recv_node));
+  receiver.start();
+
+  net::WireConfig wire;
+  wire.batch = batch;
+  wire.flush_interval = batch > 1 ? 0.0005 : 0.0;
+  auto send_node = std::make_unique<BenchNode>(/*echo=*/false);
+  BenchNode* send = send_node.get();
+  net::TcpHost sender(2, 0, std::move(send_node), 42, wire);
+  sender.add_peer(1, {"127.0.0.1", receiver.port()});
+  // The ack comes back over a dialed connection to the sender's listener
+  // (hosts read inbound sockets only, not the receive side of outgoing
+  // connections).
+  receiver.add_peer(2, {"127.0.0.1", sender.port()});
+  sender.start();
+  NodeContext* ctx = wait_ctx(send);
+
+  const std::string payload(64, 'x');
+  for (std::uint64_t i = 1; i <= rounds; ++i) {
+    const double t0 = now_sec();
+    ctx->send(1, make_publish(i, payload));
+    const double deadline = t0 + 5.0;
+    while (send->acks() < i && now_sec() < deadline) {
+      std::this_thread::yield();
+    }
+    hist->record(now_sec() - t0);
+  }
+  sender.stop();
+  receiver.stop();
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("wire", "TCP wire path: batch size vs payload size");
+  benchutil::note(
+      "wire_batch=1 is the synchronous frame-per-message path; >1 coalesces "
+      "frames through the bounded-queue writer pool");
+
+  const int batches[] = {1, 8, 32};
+  const std::size_t payloads[] = {64, 1024};
+
+  obs::MetricsSnapshot snap;
+  double base_tput[2] = {0.0, 0.0};
+
+  std::printf("\nthroughput (msgs/sec at the receiver):\n");
+  std::printf("%12s %14s %14s %10s\n", "wire_batch", "payload=64B",
+              "payload=1KB", "speedup");
+  for (const int batch : batches) {
+    double tput[2];
+    for (int p = 0; p < 2; ++p) {
+      const std::uint64_t n = payloads[p] <= 64 ? 150000 : 40000;
+      tput[p] = run_throughput(batch, payloads[p], n);
+      const std::string key = "wire.tput_batch" + std::to_string(batch) +
+                              "_pay" + std::to_string(payloads[p]);
+      snap.gauges[key] = tput[p];
+      if (batch == 1) base_tput[p] = tput[p];
+    }
+    const double speedup = base_tput[0] > 0.0 ? tput[0] / base_tput[0] : 0.0;
+    std::printf("%12d %14.0f %14.0f %9.2fx\n", batch, tput[0], tput[1],
+                speedup);
+  }
+  for (int p = 0; p < 2; ++p) {
+    const std::string pay = std::to_string(payloads[p]);
+    const double best = snap.gauges["wire.tput_batch32_pay" + pay];
+    snap.gauges["wire.speedup_pay" + pay] =
+        base_tput[p] > 0.0 ? best / base_tput[p] : 0.0;
+  }
+
+  std::printf("\nping-pong RTT through an idle wire (ms):\n");
+  std::printf("%12s %10s %10s %10s\n", "wire_batch", "p50", "p99", "mean");
+  for (const int batch : batches) {
+    obs::LatencyHistogram hist;
+    run_latency(batch, 400, &hist);
+    const obs::HistogramSnapshot h = hist.snapshot();
+    std::printf("%12d %10.3f %10.3f %10.3f\n", batch, h.quantile(0.50) * 1e3,
+                h.quantile(0.99) * 1e3, h.mean() * 1e3);
+    snap.histograms["wire.rtt_batch" + std::to_string(batch)] = h;
+  }
+
+  std::printf("\nspeedup batch=32 vs batch=1: %.2fx (64B), %.2fx (1KB)\n",
+              snap.gauges["wire.speedup_pay64"],
+              snap.gauges["wire.speedup_pay1024"]);
+  benchutil::write_bench_json("wire", snap);
+  return 0;
+}

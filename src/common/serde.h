@@ -20,7 +20,34 @@ namespace bluedove::serde {
 class Writer {
  public:
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  const std::uint8_t* data() const { return buf_.data(); }
   std::size_t size() const { return buf_.size(); }
+
+  /// Empties the buffer but keeps its capacity, so one Writer can be reused
+  /// across frames without reallocating (the wire hot path does this).
+  void clear() { buf_.clear(); }
+
+  /// Hands the underlying buffer to the caller (the Writer is left empty).
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  /// Adopts `buf` as the (cleared) output buffer, reusing its capacity.
+  void adopt(std::vector<std::uint8_t> buf) {
+    buf_ = std::move(buf);
+    buf_.clear();
+  }
+
+  /// Reserves `n` bytes at the current position and returns their offset;
+  /// patch them later (length prefixes written before the length is known).
+  std::size_t reserve(std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    return at;
+  }
+
+  /// Overwrites 4 previously written (or reserved) bytes at `at` in place.
+  void patch_u32(std::size_t at, std::uint32_t v) {
+    std::memcpy(buf_.data() + at, &v, sizeof v);
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { raw(&v, sizeof v); }

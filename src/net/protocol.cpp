@@ -82,6 +82,18 @@ MatchRequest read_match_request(serde::Reader& r) {
   return m;
 }
 
+void write_payload(serde::Writer& w, const MatchRequestBatch& m) {
+  w.varint(m.reqs.size());
+  for (const MatchRequest& req : m.reqs) write_payload(w, req);
+}
+MatchRequestBatch read_match_request_batch(serde::Reader& r) {
+  MatchRequestBatch m;
+  const auto n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+    m.reqs.push_back(read_match_request(r));
+  return m;
+}
+
 void write_payload(serde::Writer& w, const MatchAck& m) { w.u64(m.msg_id); }
 MatchAck read_match_ack(serde::Reader& r) {
   MatchAck m;
@@ -334,6 +346,8 @@ Envelope read_envelope(serde::Reader& r) {
       return Envelope::of(read_stats_request(r));
     case 21:
       return Envelope::of(read_stats_response(r));
+    case 22:
+      return Envelope::of(read_match_request_batch(r));
     default:
       return Envelope::of(TablePullReq{});
   }
@@ -352,7 +366,7 @@ const char* payload_name(const Envelope& env) {
       "MatchCompleted", "LoadReport", "TablePullReq", "TablePullResp",
       "GossipSyn", "GossipAck", "GossipAck2", "JoinRequest", "SplitCommand",
       "HandoverSegment", "LeaveRequest", "HandoverMerge", "MatchAck",
-      "StatsRequest", "StatsResponse"};
+      "StatsRequest", "StatsResponse", "MatchRequestBatch"};
   return kNames[env.payload.index()];
 }
 

@@ -9,14 +9,32 @@
 // backs the embedded Service, and this backs multi-process clusters (see
 // tools/bluedove_noded.cpp).
 //
-// Wire framing, per message:
+// Wire framing (net/wire.h), per frame:
 //   u32  frame length (bytes that follow, little-endian)
 //   u32  sender node id
-//   ...  serialized Envelope (net/protocol serde)
+//   ...  one or more serialized Envelopes, back to back
 //
-// Transport semantics match the NodeContext contract: sends are
+// Outbound path. With WireConfig::batch == 1 (the default) every send()
+// serializes once into a reusable buffer and writes one single-envelope
+// frame synchronously — the historical per-message behaviour. With
+// batch > 1 the host switches to the asynchronous batched path:
+//
+//   node thread        serialize once into a pooled buffer, push onto the
+//                      peer's bounded send queue (drop + count when full),
+//                      mark the peer dirty, wake a writer
+//   writer pool        drains dirty peers: dials the peer if needed (so
+//                      connects never block the node thread), coalesces up
+//                      to `batch` queued envelopes into each frame, and
+//                      flushes many frames with one sendmsg() — amortizing
+//                      the syscall, not just the copy
+//
+// Transport semantics match the NodeContext contract either way: sends are
 // asynchronous and unreliable-by-contract (a broken or unreachable peer
-// drops the message; failure detection happens at the protocol layer).
+// drops the message, a full send queue drops the newest envelope; failure
+// detection happens at the protocol layer). Drops are counted in
+// dropped_sends() and in the host's wire metrics registry.
+
+#include <sys/uio.h>
 
 #include <atomic>
 #include <condition_variable>
@@ -32,6 +50,7 @@
 
 #include "common/rng.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace bluedove::net {
 
@@ -40,12 +59,31 @@ struct TcpEndpoint {
   std::uint16_t port = 0;
 };
 
+/// Outbound wire-path tuning. The default (batch = 1) preserves strict
+/// per-message synchronous sends; batch > 1 enables the queued writer pool.
+struct WireConfig {
+  /// Maximum envelopes coalesced into one frame (and the fill target a
+  /// writer waits `flush_interval` for before flushing a partial batch).
+  int batch = 1;
+  /// How long a writer lingers for a batch to fill before flushing what is
+  /// queued (seconds). 0 flushes immediately on wake.
+  double flush_interval = 0.0;
+  /// Per-peer bounded send queue, in envelopes; the newest envelope is
+  /// dropped (and counted) when the queue is full — backpressure never
+  /// blocks the node thread.
+  std::size_t queue_capacity = 4096;
+  /// Writer pool size.
+  int writers = 2;
+
+  bool async() const { return batch > 1; }
+};
+
 class TcpHost {
  public:
   /// Binds the listening socket immediately (so port 0 resolves to a real
   /// ephemeral port readable via port()); call start() to begin serving.
   TcpHost(NodeId self, std::uint16_t listen_port, std::unique_ptr<Node> node,
-          std::uint64_t seed = 42);
+          std::uint64_t seed = 42, WireConfig wire = {});
   ~TcpHost();
 
   TcpHost(const TcpHost&) = delete;
@@ -58,7 +96,8 @@ class TcpHost {
   /// before or after start().
   void add_peer(NodeId id, TcpEndpoint endpoint);
 
-  /// Starts the accept loop, the node thread, and calls Node::start.
+  /// Starts the accept loop, the node thread, the writer pool (async wire
+  /// path only), and calls Node::start.
   void start();
 
   /// Stops serving and joins all threads. Idempotent.
@@ -71,6 +110,11 @@ class TcpHost {
   }
 
   std::uint64_t dropped_sends() const { return dropped_sends_.load(); }
+
+  /// Host-level wire instrumentation: bytes/frames/envelopes sent, frame
+  /// batch-size histogram, per-peer queue depth gauges. Snapshot-safe from
+  /// any thread; bluedove_noded merges this into its stats export.
+  const obs::MetricsRegistry& wire_metrics() const { return wire_metrics_; }
 
   /// One-shot client helper: connect, send one envelope (sender id
   /// kInvalidNode), close. Returns false when the peer is unreachable.
@@ -88,15 +132,54 @@ class TcpHost {
   class Context;
   friend class Context;
 
+  /// Per-peer outbound state for the async wire path. Stable address (held
+  /// by unique_ptr, never erased before stop), so writers can reference it
+  /// outside the peers lock. The `draining` flag makes each peer drained by
+  /// at most one writer at a time: it stays true from the moment the peer
+  /// is queued dirty until a writer observes an empty queue under `mu`.
+  struct PeerQueue {
+    explicit PeerQueue(NodeId peer) : id(peer) {}
+    const NodeId id;
+    std::mutex mu;
+    std::deque<std::vector<std::uint8_t>> pending;  ///< serialized envelopes
+    bool draining = false;
+    /// Writer-owned outbound connection. Atomic (seq_cst) because stop()
+    /// scans it to shutdown() a socket a writer may be blocked on: the
+    /// writer stores the fd then checks writers_stop_, stop() sets
+    /// writers_stop_ then scans — one side always observes the other.
+    std::atomic<int> fd{-1};
+    bool redial = false;  ///< endpoint changed; writer must reconnect
+    obs::Gauge* depth = nullptr;       ///< wire.peer<id>.queue_depth
+    obs::Gauge* high_water = nullptr;  ///< wire.peer<id>.queue_high_water
+  };
+
   void accept_loop();
   void reader_loop(int fd);
   void node_loop();
+  void writer_loop();
   void enqueue_task(std::function<void()> fn);
+
   bool send_to(NodeId peer, const Envelope& env);
+  bool send_sync(NodeId peer, const Envelope& env);
+  bool enqueue_async(NodeId peer, const Envelope& env);
+  /// Writes everything currently queued for `p`; returns when the queue is
+  /// empty (drops what cannot be written).
+  void drain_peer(PeerQueue& p);
+  /// Sends `bufs` to the peer as coalesced frames over its writer-owned
+  /// connection (dialing / redialing as needed). Returns envelopes dropped.
+  std::size_t flush_buffers(PeerQueue& p,
+                            std::vector<std::vector<std::uint8_t>>& bufs);
+  /// Writes pre-built iovecs to the peer's connection with one reconnect
+  /// retry (the cached connection may be stale).
+  bool flush_iovecs(PeerQueue& p, const std::vector<::iovec>& iov);
   int connect_peer(NodeId peer);
+
+  std::vector<std::uint8_t> pool_get();
+  void pool_put(std::vector<std::uint8_t> buf);
 
   NodeId self_;
   std::unique_ptr<Node> node_;
+  WireConfig wire_;
   std::unique_ptr<Context> ctx_;
 
   // Written by the constructor and stop(), read by accept_loop() while it
@@ -107,12 +190,30 @@ class TcpHost {
 
   std::mutex peers_mu_;
   std::map<NodeId, TcpEndpoint> peers_;
-  std::map<NodeId, int> peer_fds_;  ///< cached outgoing connections
+  std::map<NodeId, int> peer_fds_;  ///< cached outgoing connections (sync path)
+  std::map<NodeId, std::unique_ptr<PeerQueue>> queues_;  ///< async path
   /// Learned return paths: sender id -> inbound socket it last spoke on.
   /// Lets the node reply to peers with no registered endpoint (e.g. the
   /// `bluedove_cli stats` scraper) over the connection they opened. The
-  /// fds are owned by their reader threads, never closed through this map.
+  /// fds are owned by their reader threads, never closed through this map;
+  /// writes to them happen under peers_mu_, which the owning reader also
+  /// takes before unmapping (so the fd cannot be closed mid-write).
   std::map<NodeId, int> learned_fds_;
+
+  // Writer pool: queue of dirty peers + shutdown flag.
+  std::mutex writers_mu_;
+  std::condition_variable writers_cv_;
+  std::deque<PeerQueue*> dirty_;
+  /// Set under writers_mu_ (cv discipline) but also read lock-free from
+  /// flush_iovecs so a writer blocked against a slow peer gives up instead
+  /// of redialing during shutdown.
+  std::atomic<bool> writers_stop_{false};
+  std::vector<std::thread> writer_threads_;
+
+  // Pool of serialized-envelope buffers recycled between node thread and
+  // writers (capacity is retained across reuse).
+  std::mutex pool_mu_;
+  std::vector<std::vector<std::uint8_t>> pool_;
 
   // Node event loop (tasks + timers), same discipline as ThreadCluster.
   std::mutex mu_;
@@ -133,6 +234,18 @@ class TcpHost {
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> dropped_sends_{0};
+
+  // Wire instrumentation (registered once in the constructor, cached).
+  obs::MetricsRegistry wire_metrics_;
+  obs::Counter* m_envelopes_ = nullptr;   ///< envelopes put on the wire
+  obs::Counter* m_frames_ = nullptr;      ///< frames put on the wire
+  obs::Counter* m_bytes_ = nullptr;       ///< bytes put on the wire
+  obs::Counter* m_flushes_ = nullptr;     ///< writer drain flushes (sendmsg batches)
+  obs::Counter* m_queue_drops_ = nullptr; ///< envelopes dropped: queue full
+  obs::Counter* m_send_drops_ = nullptr;  ///< envelopes dropped: write failed
+  obs::Counter* m_connects_ = nullptr;    ///< outbound dials that succeeded
+  obs::LatencyHistogram* m_frame_envs_ = nullptr;   ///< envelopes per frame
+  obs::LatencyHistogram* m_frame_bytes_ = nullptr;  ///< bytes per frame
 };
 
 }  // namespace bluedove::net

@@ -1,0 +1,75 @@
+#include "net/wire.h"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+namespace bluedove::net::wire {
+
+void build_frame(serde::Writer& w, NodeId sender, const Envelope& env) {
+  w.clear();
+  const std::size_t len_at = w.reserve(4);
+  w.u32(sender);
+  write_envelope(w, env);
+  w.patch_u32(len_at, static_cast<std::uint32_t>(w.size() - 4));
+}
+
+void build_body(serde::Writer& w, const Envelope& env) {
+  w.clear();
+  write_envelope(w, env);
+}
+
+void fill_header(std::uint8_t out[8], std::uint32_t body_bytes,
+                 NodeId sender) {
+  const std::uint32_t len = body_bytes + static_cast<std::uint32_t>(kFrameOverhead);
+  std::memcpy(out, &len, 4);
+  std::memcpy(out + 4, &sender, 4);
+}
+
+std::uint32_t read_frame_len(const std::uint8_t bytes[4]) {
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+ParsedFrame parse_frame(const std::uint8_t* body, std::size_t len) {
+  ParsedFrame out;
+  serde::Reader r(body, len);
+  out.from = r.u32();
+  while (r.ok() && !r.at_end()) {
+    out.envelopes.push_back(read_envelope(r));
+  }
+  out.ok = r.ok() && !out.envelopes.empty();
+  return out;
+}
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, NodeId from, const Envelope& env) {
+  thread_local serde::Writer w;  // reused frame buffer, no steady-state alloc
+  build_frame(w, from, env);
+  return write_all(fd, w.data(), w.size());
+}
+
+}  // namespace bluedove::net::wire

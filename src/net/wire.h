@@ -1,0 +1,71 @@
+#pragma once
+// Wire framing for the TCP transport.
+//
+// Every TCP frame is:
+//   u32  frame length (bytes that follow, little-endian)
+//   u32  sender node id
+//   ...  one or more serialized Envelopes, back to back
+//
+// A frame carrying several envelopes is an "EnvelopeBatch" frame: the
+// receiver parses envelopes until the frame is exhausted. A single-envelope
+// frame is byte-identical to the historical one-message-per-frame format,
+// so batching peers interoperate with non-batching peers in both
+// directions.
+//
+// These helpers serialize each envelope exactly once, directly into the
+// caller's (reusable) Writer buffer — the 4-byte length prefix is reserved
+// up front and patched in place, so there is no second full-frame copy.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "net/protocol.h"
+
+namespace bluedove::net::wire {
+
+/// Frames larger than this are treated as malformed by the reader.
+inline constexpr std::uint32_t kMaxFrame = 64u * 1024u * 1024u;
+
+/// Bytes of the per-frame header that precede the envelope bytes (the
+/// sender id; the length prefix itself is not part of the framed length).
+inline constexpr std::size_t kFrameOverhead = 4;
+
+/// Serializes one complete single-envelope frame (length prefix + sender +
+/// envelope) into `w`, which is cleared first. After the call `w.data()` /
+/// `w.size()` are ready for one write syscall.
+void build_frame(serde::Writer& w, NodeId sender, const Envelope& env);
+
+/// Serializes just the envelope bytes (no header) into `w`, cleared first.
+/// The transport queues these per peer and assembles multi-envelope frames
+/// at flush time.
+void build_body(serde::Writer& w, const Envelope& env);
+
+/// Fills an 8-byte frame header for a frame whose body (everything after
+/// the length prefix, excluding the 4 sender bytes) is `body_bytes` long.
+void fill_header(std::uint8_t out[8], std::uint32_t body_bytes,
+                 NodeId sender);
+
+/// Decodes the little-endian length prefix.
+std::uint32_t read_frame_len(const std::uint8_t bytes[4]);
+
+/// Parses a frame body (everything after the length prefix): the sender id
+/// followed by one or more envelopes.
+struct ParsedFrame {
+  NodeId from = kInvalidNode;
+  std::vector<Envelope> envelopes;
+  bool ok = false;
+};
+ParsedFrame parse_frame(const std::uint8_t* body, std::size_t len);
+
+/// Loops ::send with MSG_NOSIGNAL until all `len` bytes are written.
+bool write_all(int fd, const void* data, std::size_t len);
+
+/// Loops ::recv until `len` bytes have been read.
+bool read_all(int fd, void* data, std::size_t len);
+
+/// One-shot convenience: serialize `env` (reusing a thread-local buffer)
+/// and write the frame to `fd`. No alloc on the steady-state path.
+bool send_frame(int fd, NodeId from, const Envelope& env);
+
+}  // namespace bluedove::net::wire

@@ -123,6 +123,11 @@ class MatcherNode final : public Node {
   void handle_store(const StoreSubscription& msg);
   void handle_remove(const RemoveSubscription& msg);
   void handle_match_request(MatchRequest msg);
+  void handle_match_batch(MatchRequestBatch batch);
+  /// Common admission path: counts, stamps and queues one request on its
+  /// dimension queue. Does NOT pump — callers pump once per envelope so a
+  /// whole batch lands in the queues before cores start draining.
+  void enqueue_match_request(MatchRequest msg);
   void handle_split(NodeId from, const SplitCommand& msg);
   void handle_handover_segment(const HandoverSegment& msg);
   void handle_leave();
@@ -154,6 +159,7 @@ class MatcherNode final : public Node {
   // outlive the registry they point into.
   obs::MetricsRegistry metrics_;
   obs::Counter* m_requests_ = nullptr;    ///< MatchRequests accepted
+  obs::Counter* m_batches_ = nullptr;     ///< MatchRequestBatch envelopes
   obs::Counter* m_matched_ = nullptr;     ///< messages fully serviced
   obs::Counter* m_deliveries_ = nullptr;  ///< Delivery envelopes sent
   obs::Counter* m_stats_reqs_ = nullptr;  ///< StatsRequest scrapes answered

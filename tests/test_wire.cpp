@@ -1,0 +1,427 @@
+// Tests for the batched wire path: EnvelopeBatch framing (byte-exact
+// round-trips against the legacy format), the asynchronous bounded-queue
+// writer pool (fan-out, backpressure drops, stale-connection retry), and a
+// full dispatcher->matcher MatchRequestBatch pipeline over real sockets.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+#include "node/dispatcher_node.h"
+#include "node/matcher_node.h"
+
+namespace bluedove {
+namespace {
+
+using net::TcpEndpoint;
+using net::TcpHost;
+using net::WireConfig;
+
+bool eventually(const std::function<bool()>& pred, double seconds = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+class CountingNode final : public Node {
+ public:
+  void start(NodeContext& ctx) override { ctx_.store(&ctx); }
+  NodeContext* ctx() const { return ctx_.load(); }
+  void on_receive(NodeId from, Envelope env) override {
+    last_from.store(from);
+    if (std::holds_alternative<ClientPublish>(env.payload)) {
+      publishes.fetch_add(1);
+    }
+    total.fetch_add(1);
+  }
+  std::atomic<NodeContext*> ctx_{nullptr};
+  std::atomic<NodeId> last_from{kInvalidNode};
+  std::atomic<int> publishes{0};
+  std::atomic<int> total{0};
+};
+
+NodeContext* wait_ctx(CountingNode* node) {
+  eventually([&] { return node->ctx() != nullptr; });
+  return node->ctx();
+}
+
+Envelope sample_publish(MessageId id) {
+  Message msg;
+  msg.id = id;
+  msg.values = {1.5, 2.5, 3.5};
+  msg.payload = "payload-" + std::to_string(id);
+  return Envelope::of(ClientPublish{std::move(msg)});
+}
+
+Envelope traced_match_request(MessageId id) {
+  MatchRequest req;
+  req.msg = std::get<ClientPublish>(sample_publish(id).payload).msg;
+  req.dim = 2;
+  req.dispatched_at = 12.25;
+  req.trace_id = 0xabcdef;
+  req.hops.enqueued_at = 1.125;
+  req.hops.match_start = 2.25;
+  req.hops.match_end = 4.5;
+  return Envelope::of(std::move(req));
+}
+
+std::vector<std::uint8_t> serialize(const Envelope& env) {
+  serde::Writer w;
+  write_envelope(w, env);
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(WireFraming, SingleEnvelopeFrameMatchesLegacyBytesExactly) {
+  const Envelope env = traced_match_request(42);
+  // The legacy (pre-batching) frame: serialize the body, then prepend
+  // length and sender in a second buffer.
+  serde::Writer body;
+  body.u32(7);  // sender
+  write_envelope(body, env);
+  serde::Writer legacy;
+  legacy.u32(static_cast<std::uint32_t>(body.size()));
+  for (const std::uint8_t b : body.bytes()) legacy.u8(b);
+
+  serde::Writer framed;
+  net::wire::build_frame(framed, 7, env);
+  ASSERT_EQ(framed.size(), legacy.size());
+  EXPECT_EQ(0, std::memcmp(framed.data(), legacy.data(), legacy.size()));
+}
+
+TEST(WireFraming, MultiEnvelopeFrameRoundTripsByteExactly) {
+  // Assemble a 3-envelope frame the way the writer pool does: header +
+  // bodies, then parse it back and compare each envelope's serialization
+  // byte for byte (the traced request carries hop timestamps, which must
+  // survive).
+  const std::vector<Envelope> envs = {sample_publish(1),
+                                      traced_match_request(2),
+                                      sample_publish(3)};
+  std::vector<std::uint8_t> frame(8);
+  std::uint32_t body_bytes = 0;
+  for (const Envelope& e : envs) {
+    const auto bytes = serialize(e);
+    body_bytes += static_cast<std::uint32_t>(bytes.size());
+    frame.insert(frame.end(), bytes.begin(), bytes.end());
+  }
+  net::wire::fill_header(frame.data(), body_bytes, 9);
+
+  const std::uint32_t len = net::wire::read_frame_len(frame.data());
+  ASSERT_EQ(len, body_bytes + net::wire::kFrameOverhead);
+  const net::wire::ParsedFrame parsed =
+      net::wire::parse_frame(frame.data() + 4, len);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.from, 9u);
+  ASSERT_EQ(parsed.envelopes.size(), envs.size());
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    EXPECT_EQ(serialize(parsed.envelopes[i]), serialize(envs[i]))
+        << "envelope " << i;
+  }
+  const auto& req = std::get<MatchRequest>(parsed.envelopes[1].payload);
+  EXPECT_EQ(req.trace_id, 0xabcdefu);
+  EXPECT_DOUBLE_EQ(req.hops.enqueued_at, 1.125);
+  EXPECT_DOUBLE_EQ(req.hops.match_start, 2.25);
+  EXPECT_DOUBLE_EQ(req.hops.match_end, 4.5);
+}
+
+TEST(WireFraming, ParseRejectsTruncatedAndEmptyFrames) {
+  const auto bytes = serialize(sample_publish(5));
+  std::vector<std::uint8_t> frame(8);
+  frame.insert(frame.end(), bytes.begin(), bytes.end());
+  net::wire::fill_header(frame.data(), static_cast<std::uint32_t>(bytes.size()),
+                         3);
+  // Truncated mid-envelope: not ok.
+  EXPECT_FALSE(net::wire::parse_frame(frame.data() + 4, frame.size() - 4 - 3)
+                   .ok);
+  // Sender only, zero envelopes: not ok.
+  EXPECT_FALSE(net::wire::parse_frame(frame.data() + 4, 4).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Async wire path over loopback
+// ---------------------------------------------------------------------------
+
+TEST(WireAsync, BatchedSendsAllDeliveredToManyPeers) {
+  constexpr int kPeers = 5;
+  constexpr int kPerPeer = 500;
+  std::vector<std::unique_ptr<TcpHost>> receivers;
+  std::vector<CountingNode*> nodes;
+  for (int i = 0; i < kPeers; ++i) {
+    auto node = std::make_unique<CountingNode>();
+    nodes.push_back(node.get());
+    receivers.push_back(std::make_unique<TcpHost>(
+        static_cast<NodeId>(100 + i), 0, std::move(node)));
+    receivers.back()->start();
+  }
+
+  WireConfig wire;
+  wire.batch = 16;
+  wire.flush_interval = 0.0005;
+  wire.queue_capacity = 8192;
+  auto sender_node = std::make_unique<CountingNode>();
+  CountingNode* sn = sender_node.get();
+  TcpHost sender(1, 0, std::move(sender_node), 42, wire);
+  for (int i = 0; i < kPeers; ++i) {
+    sender.add_peer(static_cast<NodeId>(100 + i),
+                    {"127.0.0.1", receivers[static_cast<std::size_t>(i)]
+                                      ->port()});
+  }
+  sender.start();
+  NodeContext* ctx = wait_ctx(sn);
+
+  for (int m = 0; m < kPerPeer; ++m) {
+    for (int i = 0; i < kPeers; ++i) {
+      ctx->send(static_cast<NodeId>(100 + i),
+                sample_publish(static_cast<MessageId>(m)));
+    }
+  }
+  for (int i = 0; i < kPeers; ++i) {
+    EXPECT_TRUE(eventually([&] {
+      return nodes[static_cast<std::size_t>(i)]->publishes.load() == kPerPeer;
+    })) << "peer " << i << " got "
+        << nodes[static_cast<std::size_t>(i)]->publishes.load();
+    // The wire path carries the sender id on every frame.
+    EXPECT_EQ(nodes[static_cast<std::size_t>(i)]->last_from.load(), 1u);
+  }
+  EXPECT_EQ(sender.dropped_sends(), 0u);
+  const auto snap = sender.wire_metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("wire.envelopes_sent"),
+            static_cast<std::uint64_t>(kPeers * kPerPeer));
+  // Coalescing must actually happen: far fewer frames than envelopes.
+  EXPECT_LT(snap.counters.at("wire.frames_sent"),
+            snap.counters.at("wire.envelopes_sent"));
+  for (std::unique_ptr<TcpHost>& r : receivers) r->stop();
+  sender.stop();
+}
+
+TEST(WireAsync, SlowReaderBackpressureDropsAreBoundedAndCounted) {
+  // A raw listener that accepts connections but never reads: the kernel
+  // socket buffers fill, the writer blocks, and the bounded per-peer queue
+  // must start dropping (counted in dropped_sends) instead of growing or
+  // blocking the caller.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::listen(listen_fd, 8);
+  std::atomic<bool> accepting{true};
+  std::thread acceptor([&] {
+    std::vector<int> fds;
+    while (accepting.load()) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) break;
+      fds.push_back(fd);  // accepted, never read
+    }
+    for (int fd : fds) ::close(fd);
+  });
+
+  WireConfig wire;
+  wire.batch = 8;
+  wire.queue_capacity = 64;  // small bound so backpressure bites fast
+  auto node = std::make_unique<CountingNode>();
+  CountingNode* cn = node.get();
+  TcpHost sender(1, 0, std::move(node), 42, wire);
+  sender.add_peer(2, {"127.0.0.1", ntohs(addr.sin_port)});
+  sender.start();
+  NodeContext* ctx = wait_ctx(cn);
+
+  // Large payloads fill the socket buffer quickly; keep sending until the
+  // queue overflows.
+  const std::string big(16 * 1024, 'x');
+  std::uint64_t sent = 0;
+  const bool dropped = eventually([&] {
+    for (int i = 0; i < 64; ++i) {
+      Message msg;
+      msg.id = ++sent;
+      msg.values = {1.0};
+      msg.payload = big;
+      ctx->send(2, Envelope::of(ClientPublish{std::move(msg)}));
+    }
+    return sender.dropped_sends() > 0;
+  });
+  EXPECT_TRUE(dropped);
+  const auto snap = sender.wire_metrics().snapshot();
+  EXPECT_GT(snap.counters.at("wire.queue_full_drops"), 0u);
+  // The queue bound held: at most capacity envelopes are ever in flight
+  // per peer.
+  const double high_water = snap.gauges.at("wire.peer2.queue_high_water");
+  EXPECT_LE(high_water, static_cast<double>(wire.queue_capacity));
+
+  // stop() must not hang on the writer blocked against the full socket.
+  sender.stop();
+  accepting.store(false);
+  ::shutdown(listen_fd, SHUT_RDWR);
+  ::close(listen_fd);
+  acceptor.join();
+}
+
+TEST(WireSync, StaleConnectionRetryAfterPeerRestart) {
+  auto first_node = std::make_unique<CountingNode>();
+  CountingNode* first = first_node.get();
+  auto receiver = std::make_unique<TcpHost>(2, 0, std::move(first_node));
+  receiver->start();
+  const std::uint16_t port = receiver->port();
+
+  auto sender_node = std::make_unique<CountingNode>();
+  CountingNode* sn = sender_node.get();
+  TcpHost sender(1, 0, std::move(sender_node));  // wire batch = 1: sync path
+  sender.add_peer(2, {"127.0.0.1", port});
+  sender.start();
+  NodeContext* ctx = wait_ctx(sn);
+
+  ctx->send(2, sample_publish(1));
+  ASSERT_TRUE(eventually([&] { return first->publishes.load() == 1; }));
+
+  // Restart the peer on the same port: the sender's cached connection is
+  // now stale. TCP lets the first write into a half-closed connection
+  // succeed (the kernel buffers it before the RST comes back), so that
+  // probe send may be silently lost; once the reset is observed, the
+  // in-call retry must dial fresh and delivery must resume without the
+  // sender ever being restarted or re-peered.
+  receiver->stop();
+  receiver.reset();
+  auto second_node = std::make_unique<CountingNode>();
+  CountingNode* second = second_node.get();
+  TcpHost restarted(2, port, std::move(second_node));
+  ASSERT_EQ(restarted.port(), port);
+  restarted.start();
+
+  std::uint64_t next_id = 2;
+  EXPECT_TRUE(eventually([&] {
+    ctx->send(2, sample_publish(static_cast<MessageId>(next_id++)));
+    return second->publishes.load() >= 1;
+  }));
+  restarted.stop();
+  sender.stop();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: dispatcher-side MatchRequest batching over TCP
+// ---------------------------------------------------------------------------
+
+TEST(WireCluster, MatchRequestBatchesFlowDispatcherToMatcher) {
+  constexpr NodeId kSink = 2;
+  constexpr NodeId kDispatcher = 10;
+  const std::vector<NodeId> matcher_ids{1000, 1001};
+  const std::vector<Range> domains(2, Range{0, 1000});
+
+  std::atomic<int> completions{0};
+  TcpHost sink(kSink, 0,
+               std::make_unique<FunctionNode>(
+                   [&](NodeId, const Envelope& env, Timestamp) {
+                     if (std::holds_alternative<MatchCompleted>(env.payload)) {
+                       completions.fetch_add(1);
+                     }
+                   }));
+
+  DispatcherConfig dcfg;
+  dcfg.domains = domains;
+  dcfg.table_pull_interval = 0.5;
+  dcfg.wire_batch = 8;  // app-level MatchRequestBatch coalescing
+  dcfg.wire_flush_interval = 0.002;
+  WireConfig dwire;
+  dwire.batch = 8;  // transport-level frame coalescing underneath
+  TcpHost dispatcher_host(
+      kDispatcher, 0,
+      [&] {
+        auto node = std::make_unique<DispatcherNode>(kDispatcher, dcfg);
+        node->set_bootstrap(bootstrap_table(matcher_ids, domains));
+        return node;
+      }(),
+      42, dwire);
+
+  MatcherConfig mcfg;
+  mcfg.domains = domains;
+  mcfg.cores = 1;
+  mcfg.index_kind = IndexKind::kBucket;
+  mcfg.match_batch = 8;
+  mcfg.load_report_interval = 0.2;
+  mcfg.gossip.round_interval = 0.2;
+  mcfg.dispatchers = {kDispatcher};
+  mcfg.metrics_sink = kSink;
+  mcfg.delivery_sink = kSink;
+  std::vector<std::unique_ptr<TcpHost>> matcher_hosts;
+  for (NodeId id : matcher_ids) {
+    auto node = std::make_unique<MatcherNode>(id, mcfg);
+    node->set_bootstrap(bootstrap_table(matcher_ids, domains));
+    matcher_hosts.push_back(
+        std::make_unique<TcpHost>(id, 0, std::move(node)));
+  }
+
+  std::map<NodeId, TcpEndpoint> directory;
+  directory[kSink] = {"127.0.0.1", sink.port()};
+  directory[kDispatcher] = {"127.0.0.1", dispatcher_host.port()};
+  for (std::size_t i = 0; i < matcher_ids.size(); ++i) {
+    directory[matcher_ids[i]] = {"127.0.0.1", matcher_hosts[i]->port()};
+  }
+  auto wire_up = [&](TcpHost& host) {
+    for (const auto& [id, ep] : directory) {
+      if (id != host.id()) host.add_peer(id, ep);
+    }
+  };
+  wire_up(sink);
+  wire_up(dispatcher_host);
+  for (auto& h : matcher_hosts) wire_up(*h);
+
+  sink.start();
+  dispatcher_host.start();
+  for (auto& h : matcher_hosts) h->start();
+
+  // Publish a burst; every message must complete matching even though the
+  // dispatcher ships them as MatchRequestBatch envelopes.
+  constexpr int kMessages = 200;
+  const TcpEndpoint dispatcher_ep = directory[kDispatcher];
+  for (int i = 0; i < kMessages; ++i) {
+    Message msg;
+    msg.id = static_cast<MessageId>(i + 1);
+    msg.values = {500.0, 500.0};
+    ASSERT_TRUE(TcpHost::send_once(dispatcher_ep,
+                                   Envelope::of(ClientPublish{msg})));
+  }
+  EXPECT_TRUE(eventually([&] { return completions.load() == kMessages; }))
+      << "completions=" << completions.load();
+
+  // The dispatcher actually batched (not 200 singleton sends)...
+  const auto* disp =
+      dispatcher_host.node_as<DispatcherNode>();
+  const auto dsnap = disp->metrics().snapshot();
+  EXPECT_GT(dsnap.counters.at("dispatcher.batches_sent"), 0u);
+  // ...and some matcher saw a MatchRequestBatch envelope.
+  std::uint64_t matcher_batches = 0;
+  for (std::size_t i = 0; i < matcher_hosts.size(); ++i) {
+    const auto msnap =
+        matcher_hosts[i]->node_as<MatcherNode>()->metrics().snapshot();
+    matcher_batches += msnap.counters.at("matcher.batches_received");
+  }
+  EXPECT_GT(matcher_batches, 0u);
+
+  for (auto& h : matcher_hosts) h->stop();
+  dispatcher_host.stop();
+  sink.stop();
+}
+
+}  // namespace
+}  // namespace bluedove

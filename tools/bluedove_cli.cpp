@@ -6,6 +6,8 @@
 //   crash      fault-injection run (kill matchers periodically)
 //   scale      elasticity run (auto-scaler on, rising rate)
 //   stats      scrape a live bluedove_noded over TCP and print its metrics
+//   blast      TCP traffic generator: publish a burst of messages at a live
+//              dispatcher as fast as the wire path allows
 //
 // Common options (defaults mirror the paper's §IV-B setup, scaled):
 //   --system=bluedove|p2p|full-rep     --matchers=N        --dispatchers=N
@@ -26,6 +28,15 @@
 //   --json             print the raw JSON snapshot
 //   --timeout=SEC      reply wait (default 5)
 //
+// blast options:
+//   --peer=host:port   the dispatcher noded to publish at (required)
+//   --target-id=N      the dispatcher's node id (default 10)
+//   --count=N          messages to publish (default 100000)
+//   --payload=BYTES    message payload size (default 64)
+//   --wire-batch=N     envelopes per frame (default 32; 1 = sync sends)
+//   --wire-flush=SEC   writer linger for a partial batch (default 0.5 ms)
+//   --wire-queue=N     per-peer bounded send queue (default 65536)
+//
 // Examples:
 //   bluedove_cli saturate --system=p2p --matchers=10
 //   bluedove_cli run --rate=20000 --duration=60
@@ -34,10 +45,14 @@
 //   bluedove_cli scale --step=500 --step-secs=30 --steps=12
 //   bluedove_cli stats --peer=127.0.0.1:8000
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "common/cli.h"
+#include "common/rng.h"
 #include "harness/experiment.h"
 #include "net/tcp_transport.h"
 #include "obs/export.h"
@@ -48,7 +63,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bluedove_cli <saturate|run|crash|scale> [--options]\n"
+               "usage: bluedove_cli <saturate|run|crash|scale|stats|blast> "
+               "[--options]\n"
                "see the header of tools/bluedove_cli.cpp for the full list\n");
   return 2;
 }
@@ -227,6 +243,98 @@ int cmd_stats(const CliArgs& args) {
   return 0;
 }
 
+/// Node behind `blast`: publishes from the main thread through its context
+/// (TcpHost sends are thread-safe) and ignores whatever comes back.
+class BlastNode final : public Node {
+ public:
+  void start(NodeContext& ctx) override {
+    ctx_.store(&ctx, std::memory_order_release);
+  }
+  void on_receive(NodeId, Envelope) override {}
+  NodeContext* ctx() const { return ctx_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<NodeContext*> ctx_{nullptr};
+};
+
+int cmd_blast(const CliArgs& args) {
+  const std::string peer = args.get("peer", "");
+  const auto colon = peer.rfind(':');
+  if (peer.empty() || colon == std::string::npos) {
+    std::fprintf(stderr, "blast: --peer=host:port is required\n");
+    return 2;
+  }
+  net::TcpEndpoint ep;
+  ep.host = peer.substr(0, colon);
+  ep.port = static_cast<std::uint16_t>(std::stoul(peer.substr(colon + 1)));
+  const auto target = static_cast<NodeId>(args.get_int("target-id", 10));
+  const auto count = static_cast<std::uint64_t>(args.get_int("count", 100000));
+  const auto dims = static_cast<std::size_t>(args.get_int("dims", 4));
+  const double domain_len = args.get_double("domain", 1000.0);
+  const std::string payload(
+      static_cast<std::size_t>(args.get_int("payload", 64)), 'x');
+
+  net::WireConfig wire;
+  wire.batch = static_cast<int>(args.get_int("wire-batch", 32));
+  wire.flush_interval = args.get_double("wire-flush", 0.0005);
+  wire.queue_capacity =
+      static_cast<std::size_t>(args.get_int("wire-queue", 65536));
+  wire.writers = static_cast<int>(args.get_int("wire-writers", 2));
+
+  auto node = std::make_unique<BlastNode>();
+  BlastNode* blast = node.get();
+  net::TcpHost host(static_cast<NodeId>(args.get_int("id", 999998)), 0,
+                    std::move(node),
+                    static_cast<std::uint64_t>(args.get_int("seed", 1)), wire);
+  if (host.port() == 0) {
+    std::fprintf(stderr, "blast: failed to bind a local port\n");
+    return 1;
+  }
+  host.add_peer(target, ep);
+  host.start();
+  while (blast->ctx() == nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 1; i <= count; ++i) {
+    Message msg;
+    msg.id = i;
+    msg.values.resize(dims);
+    for (auto& v : msg.values) v = rng.uniform(0.0, domain_len);
+    msg.payload = payload;
+    blast->ctx()->send(target, Envelope::of(ClientPublish{std::move(msg)}));
+  }
+  // Wait for the send queues to drain (everything either hit the wire or
+  // was dropped by backpressure), then report.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(args.get_double("timeout", 30.0));
+  std::uint64_t sent = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    sent = host.wire_metrics().snapshot().counters.at("wire.envelopes_sent");
+    if (sent + host.dropped_sends() >= count) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const obs::MetricsSnapshot snap = host.wire_metrics().snapshot();
+  const auto frames = snap.counters.at("wire.frames_sent");
+  std::printf(
+      "blast: %llu msgs in %.3fs -> %.0f msg/s  wire_batch=%d  frames=%llu "
+      "(%.1f env/frame)  bytes=%llu  dropped=%llu\n",
+      (unsigned long long)sent, secs, static_cast<double>(sent) / secs,
+      wire.batch, (unsigned long long)frames,
+      frames > 0 ? static_cast<double>(sent) / static_cast<double>(frames)
+                 : 0.0,
+      (unsigned long long)snap.counters.at("wire.bytes_sent"),
+      (unsigned long long)host.dropped_sends());
+  host.stop();
+  return 0;
+}
+
 int cmd_crash(const CliArgs& args) {
   ExperimentConfig cfg = config_from(args);
   const double rate = args.get_double("rate", 10000.0);
@@ -300,6 +408,8 @@ int main(int argc, char** argv) {
     rc = cmd_scale(args);
   } else if (cmd == "stats") {
     rc = cmd_stats(args);
+  } else if (cmd == "blast") {
+    rc = cmd_blast(args);
   } else {
     return usage();
   }

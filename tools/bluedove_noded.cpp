@@ -12,6 +12,13 @@
 //   --index=bucket|flat-bucket|interval-tree|linear-scan   (matcher only)
 //   --match-batch=N                  matcher batch drain depth (default 1)
 //   --trace-sample=R                 dispatcher trace sampling rate [0,1]
+//   --wire-batch=N                   envelopes coalesced per TCP frame; >1
+//                                    also enables the async writer pool and
+//                                    (dispatcher) MatchRequest batching
+//   --wire-flush=SEC                 max wait for a wire batch to fill
+//                                    (default 0.5 ms)
+//   --wire-queue=N                   per-peer bounded send queue (envelopes)
+//   --wire-writers=N                 writer pool size (default 2)
 //   --stats-json=PATH                periodically write the node's metrics
 //                                    snapshot as JSON to PATH
 //   --stats-interval=SEC             snapshot cadence (default 5 s)
@@ -131,6 +138,8 @@ int main(int argc, char** argv) {
     cfg.domains = domains;
     cfg.reliable_delivery = args.get_bool("reliable", false);
     cfg.trace_sample_rate = args.get_double("trace-sample", 0.0);
+    cfg.wire_batch = static_cast<int>(args.get_int("wire-batch", 1));
+    cfg.wire_flush_interval = args.get_double("wire-flush", 0.0005);
     auto dispatcher = std::make_unique<DispatcherNode>(id, cfg);
     if (!cluster.empty()) {
       dispatcher->set_bootstrap(bootstrap_table(cluster, domains));
@@ -152,8 +161,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  net::WireConfig wire;
+  wire.batch = static_cast<int>(args.get_int("wire-batch", 1));
+  wire.flush_interval = args.get_double("wire-flush", 0.0005);
+  wire.queue_capacity =
+      static_cast<std::size_t>(args.get_int("wire-queue", 4096));
+  wire.writers = static_cast<int>(args.get_int("wire-writers", 2));
   net::TcpHost host(id, port, std::move(node),
-                    static_cast<std::uint64_t>(args.get_int("seed", 42)));
+                    static_cast<std::uint64_t>(args.get_int("seed", 42)),
+                    wire);
   if (host.port() == 0) {
     std::fprintf(stderr, "failed to bind port %u\n", port);
     return 1;
@@ -175,10 +191,16 @@ int main(int argc, char** argv) {
   const std::string stats_path = args.get("stats-json", "");
   const double stats_interval = args.get_double("stats-interval", 5.0);
   auto snapshot_now = [&]() -> obs::MetricsSnapshot {
-    if (role == "matcher") return host.node_as<MatcherNode>()->metrics().snapshot();
-    if (role == "dispatcher")
-      return host.node_as<DispatcherNode>()->metrics().snapshot();
-    return {};
+    obs::MetricsSnapshot snap;
+    if (role == "matcher") {
+      snap = host.node_as<MatcherNode>()->metrics().snapshot();
+    } else if (role == "dispatcher") {
+      snap = host.node_as<DispatcherNode>()->metrics().snapshot();
+    }
+    // Transport-level instrumentation rides along in the same export
+    // (wire.* names never collide with node-level ones).
+    snap.merge(host.wire_metrics().snapshot());
+    return snap;
   };
   double since_stats = 0.0;
   while (!g_stop) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer (-DBLUEDOVE_TSAN=ON) and runs the
 # concurrency-sensitive suites under it: the thread-cluster runtime, the TCP
-# transport, the node logic they drive, and the obs metrics hot path (relaxed
+# transport, the batched wire path (writer pool, per-peer queues, buffer
+# pool), the node logic they drive, and the obs metrics hot path (relaxed
 # atomics updated from matcher worker threads while snapshots read them).
 #
 # Usage: tools/tsan_check.sh [ctest-args...]
@@ -18,4 +19,4 @@ cmake --build "${build_dir}" -j "${jobs}"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-  -R 'Tcp|ThreadCluster|Logger|Registry|BoundedQueue|LatencyHistogram' "$@"
+  -R 'Tcp|Wire|ThreadCluster|Logger|Registry|BoundedQueue|LatencyHistogram' "$@"
