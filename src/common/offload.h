@@ -1,0 +1,42 @@
+#pragma once
+// Offload surface shared between NodeContext and the runtime's
+// MatchExecutor: the types a node uses to push heavy read-only computation
+// (index probes) off its serialized execution context and get the
+// completion posted back onto it.
+//
+// The contract mirrors the paper's matching servers: a matcher owns `cores`
+// workers draining per-dimension queues. On the real substrates
+// (ThreadCluster, TcpHost) offloaded work runs on a pool worker thread; on
+// the simulator it runs inline and the completion is deferred through the
+// deterministic charge() path, so simulation results stay bit-identical.
+
+#include <functional>
+
+#include "common/rng.h"
+
+namespace bluedove {
+
+/// Identity handed to offloaded work: which pool worker is running it plus
+/// that worker's private deterministic random stream. `index` is in
+/// [0, workers) on a pool worker and -1 when the work runs inline on the
+/// node's own context (the simulator, or a lane-full fallback that may be
+/// concurrent with pool workers) — callers with per-worker scratch arenas
+/// key the inline case to its own slot. Pool streams are seeded from the
+/// node seed plus the worker index — runs with the same seed draw the same
+/// per-worker sequences regardless of how the OS schedules the workers.
+struct OffloadWorker {
+  int index = -1;
+  Rng* rng = nullptr;
+};
+
+/// An offloaded computation. It must only touch state that is safe off the
+/// node thread (immutable snapshots, its own captures, the per-worker
+/// scratch slot) and returns the work units it spent, for CPU accounting.
+using OffloadWork = std::function<double(OffloadWorker&)>;
+
+/// Completion for an offloaded computation; always runs back on the node's
+/// serialized execution context with the units the work reported, so it may
+/// freely send(), set timers and mutate node state.
+using OffloadDone = std::function<void(double)>;
+
+}  // namespace bluedove

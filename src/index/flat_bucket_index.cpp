@@ -109,13 +109,14 @@ void FlatBucketIndex::clear() {
 }
 
 void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
+                            std::vector<std::uint32_t>& sel,
                             WorkCounter& wc) const {
   ++wc.probes;
   const Bucket& b = buckets_[bucket_of(m.value(pivot_))];
   const std::size_t n = b.slots.size();
   wc.comparisons += n + b.irregular.size();
   if (n != 0 && m.dimensions() == columns_) {
-    sel_.resize(n);
+    sel.resize(n);
     std::size_t count = 0;
     {
       // First pass over one full column: branchless, contiguous, and the
@@ -124,7 +125,7 @@ void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
       const Value* lo = b.lo[0].data();
       const Value* hi = b.hi[0].data();
       for (std::size_t i = 0; i < n; ++i) {
-        sel_[count] = static_cast<std::uint32_t>(i);
+        sel[count] = static_cast<std::uint32_t>(i);
         count += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
       }
     }
@@ -135,13 +136,13 @@ void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
       const Value* hi = b.hi[d].data();
       std::size_t kept = 0;
       for (std::size_t j = 0; j < count; ++j) {
-        const std::uint32_t i = sel_[j];
-        sel_[kept] = i;
+        const std::uint32_t i = sel[j];
+        sel[kept] = i;
         kept += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
       }
       count = kept;
     }
-    for (std::size_t j = 0; j < count; ++j) out.push_back(b.slots[sel_[j]]);
+    for (std::size_t j = 0; j < count; ++j) out.push_back(b.slots[sel[j]]);
   }
   for (const Slot slot : b.irregular) {
     if (store_->at(slot).matches(m)) out.push_back(slot);
@@ -151,7 +152,7 @@ void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
 void FlatBucketIndex::match_hits(const Message& m, std::vector<MatchHit>& out,
                                  WorkCounter& wc) const {
   slots_scratch_.clear();
-  probe(m, slots_scratch_, wc);
+  probe(m, slots_scratch_, sel_, wc);
   for (const Slot slot : slots_scratch_) {
     const Subscription& sub = store_->at(slot);
     out.push_back({sub.id, sub.subscriber});
@@ -161,11 +162,26 @@ void FlatBucketIndex::match_hits(const Message& m, std::vector<MatchHit>& out,
 void FlatBucketIndex::match_batch(std::span<const Message> msgs,
                                   std::vector<MatchHit>& hits,
                                   std::vector<std::uint32_t>& offsets,
-                                  WorkCounter& wc) const {
+                                  WorkCounter& wc,
+                                  std::vector<double>* per_msg_work,
+                                  MatchScratch* scratch) const {
+  std::vector<Slot>& slots = scratch != nullptr ? scratch->slots : slots_scratch_;
+  std::vector<std::uint32_t>& sel = scratch != nullptr ? scratch->sel : sel_;
   offsets.reserve(offsets.size() + msgs.size() + 1);
   for (const Message& m : msgs) {
     offsets.push_back(static_cast<std::uint32_t>(hits.size()));
-    match_hits(m, hits, wc);
+    const WorkCounter before = wc;
+    slots.clear();
+    probe(m, slots, sel, wc);
+    for (const Slot slot : slots) {
+      const Subscription& sub = store_->at(slot);
+      hits.push_back({sub.id, sub.subscriber});
+    }
+    if (per_msg_work != nullptr) {
+      const WorkCounter delta{wc.comparisons - before.comparisons,
+                              wc.probes - before.probes};
+      per_msg_work->push_back(delta.total());
+    }
   }
   offsets.push_back(static_cast<std::uint32_t>(hits.size()));
 }
@@ -173,7 +189,7 @@ void FlatBucketIndex::match_batch(std::span<const Message> msgs,
 void FlatBucketIndex::match(const Message& m, std::vector<SubPtr>& out,
                             WorkCounter& wc) const {
   slots_scratch_.clear();
-  probe(m, slots_scratch_, wc);
+  probe(m, slots_scratch_, sel_, wc);
   for (const Slot slot : slots_scratch_) {
     out.push_back(std::make_shared<const Subscription>(store_->at(slot)));
   }

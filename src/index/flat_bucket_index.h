@@ -39,10 +39,16 @@ class FlatBucketIndex final : public SubscriptionIndex {
   void match_hits(const Message& m, std::vector<MatchHit>& out,
                   WorkCounter& wc) const override;
   void match_batch(std::span<const Message> msgs, std::vector<MatchHit>& hits,
-                   std::vector<std::uint32_t>& offsets,
-                   WorkCounter& wc) const override;
+                   std::vector<std::uint32_t>& offsets, WorkCounter& wc,
+                   std::vector<double>* per_msg_work = nullptr,
+                   MatchScratch* scratch = nullptr) const override;
   double match_cost(const Message& m) const override;
   void for_each(const std::function<void(const SubPtr&)>& fn) const override;
+  /// The clone shares the arena without owning slot references: probe it
+  /// from any thread (with a store epoch_guard pinned), never mutate it.
+  std::unique_ptr<SubscriptionIndex> clone() const override {
+    return std::unique_ptr<SubscriptionIndex>(new FlatBucketIndex(*this));
+  }
 
   const SubscriptionStore& store() const { return *store_; }
   std::size_t bucket_count() const { return buckets_.size(); }
@@ -66,8 +72,12 @@ class FlatBucketIndex final : public SubscriptionIndex {
   std::pair<std::size_t, std::size_t> span_of_sub(const Subscription& s) const;
   void bucket_insert(Bucket& b, Slot slot, const Subscription& sub);
   void bucket_erase(Bucket& b, Slot slot);
-  /// Appends the slots in `m`'s bucket that match all predicates.
-  void probe(const Message& m, std::vector<Slot>& out, WorkCounter& wc) const;
+  /// Appends the slots in `m`'s bucket that match all predicates. `sel` is
+  /// the caller's selection-vector scratch: the single-threaded entry
+  /// points pass the members below, match_batch threads the per-worker
+  /// MatchScratch through so concurrent probes of snapshots never share.
+  void probe(const Message& m, std::vector<Slot>& out,
+             std::vector<std::uint32_t>& sel, WorkCounter& wc) const;
 
   DimId pivot_;
   Range domain_;

@@ -18,11 +18,19 @@ void SubscriptionIndex::match_hits(const Message& m, std::vector<MatchHit>& out,
 void SubscriptionIndex::match_batch(std::span<const Message> msgs,
                                     std::vector<MatchHit>& hits,
                                     std::vector<std::uint32_t>& offsets,
-                                    WorkCounter& wc) const {
+                                    WorkCounter& wc,
+                                    std::vector<double>* per_msg_work,
+                                    MatchScratch* /*scratch*/) const {
   offsets.reserve(offsets.size() + msgs.size() + 1);
   for (const Message& m : msgs) {
     offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+    const WorkCounter before = wc;
     match_hits(m, hits, wc);
+    if (per_msg_work != nullptr) {
+      const WorkCounter delta{wc.comparisons - before.comparisons,
+                              wc.probes - before.probes};
+      per_msg_work->push_back(delta.total());
+    }
   }
   offsets.push_back(static_cast<std::uint32_t>(hits.size()));
 }

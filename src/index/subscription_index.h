@@ -39,6 +39,15 @@ struct MatchHit {
   friend bool operator==(const MatchHit&, const MatchHit&) = default;
 };
 
+/// Reusable probe scratch (selection vector, slot hits) threaded through
+/// match_batch so repeated probes reallocate nothing. Each offload worker
+/// owns one instance — an engine's internal fallback scratch is not safe
+/// once snapshots of it are probed from several threads.
+struct MatchScratch {
+  std::vector<std::uint32_t> sel;
+  std::vector<std::uint32_t> slots;
+};
+
 /// Work units accumulated during index operations. One unit is one
 /// subscription comparison; probes (tree node / bucket visits) are cheaper.
 struct WorkCounter {
@@ -86,10 +95,27 @@ class SubscriptionIndex {
   /// (hits/offsets are appended to, so pass them in cleared). The default
   /// falls back to per-message match_hits(); engines that can amortize
   /// probe setup across the batch override it.
+  ///
+  /// `per_msg_work`, when non-null, receives one appended entry per message
+  /// with the exact work units that message's probe cost (the entries sum
+  /// to what the batch added to `wc`) — this is what MatchCompleted reports
+  /// instead of a batch average. `scratch`, when non-null, is caller-owned
+  /// probe scratch reused across calls; offload workers must pass their own
+  /// (the engine-internal fallback is not thread-safe across snapshots).
   virtual void match_batch(std::span<const Message> msgs,
                            std::vector<MatchHit>& hits,
                            std::vector<std::uint32_t>& offsets,
-                           WorkCounter& wc) const;
+                           WorkCounter& wc,
+                           std::vector<double>* per_msg_work = nullptr,
+                           MatchScratch* scratch = nullptr) const;
+
+  /// Deep-copies this engine into an immutable read snapshot: probing the
+  /// clone (match/match_hits/match_batch) is safe from any thread while the
+  /// original keeps mutating. Arena-backed engines share the original's
+  /// SubscriptionStore without owning slot references — pair the clone with
+  /// the store's epoch_guard() and treat it as read-only (mutating or
+  /// destroying a clone never touches the arena).
+  virtual std::unique_ptr<SubscriptionIndex> clone() const = 0;
 
   /// Cheap estimate (O(1) or O(log n)) of the work units match() would
   /// spend on `m`. Used by the simulator's cost-only mode and by the

@@ -8,16 +8,22 @@ SubscriptionStore::Slot SubscriptionStore::acquire(const Subscription& sub) {
     ++refs_[it->second];
     return it->second;
   }
+  if (free_.empty()) collect();
   Slot slot;
   if (!free_.empty()) {
     slot = free_.back();
     free_.pop_back();
-    slots_[slot] = sub;
   } else {
-    slot = static_cast<Slot>(slots_.size());
-    slots_.push_back(sub);
+    slot = next_++;
+    const std::uint32_t adj = slot / kChunkBase + 1;
+    const auto k = static_cast<std::size_t>(std::bit_width(adj) - 1);
+    if (chunks_[k] == nullptr) {
+      chunks_[k] = std::make_unique<Subscription[]>(
+          static_cast<std::size_t>(kChunkBase) << k);
+    }
     refs_.push_back(0);
   }
+  slot_ref(slot) = sub;
   refs_[slot] = 1;
   by_id_.emplace(sub.id, slot);
   return slot;
@@ -28,18 +34,54 @@ bool SubscriptionStore::release(SubscriptionId id) {
   if (it == by_id_.end()) return false;
   const Slot slot = it->second;
   if (--refs_[slot] == 0) {
-    slots_[slot] = Subscription{};  // drop the ranges allocation
-    free_.push_back(slot);
     by_id_.erase(it);
+    if (guards_.empty() && limbo_.empty()) {
+      // No snapshot was ever outstanding: recycle immediately, in the same
+      // LIFO order as always (the simulator path depends on this staying
+      // byte-identical). Clearing the entry also drops its ranges
+      // allocation right away.
+      slot_ref(slot) = Subscription{};
+      free_.push_back(slot);
+    } else {
+      // A reader may still hold a snapshot referencing this slot: park it
+      // untouched (no clear — workers may be reading the ranges) until
+      // every guard issued so far has been dropped.
+      limbo_.emplace_back(next_guard_seq_, slot);
+    }
   }
   return true;
 }
 
+std::shared_ptr<const void> SubscriptionStore::epoch_guard() {
+  auto token = std::make_shared<const char>('\0');
+  guards_.emplace_back(next_guard_seq_++, token);
+  return token;
+}
+
+void SubscriptionStore::collect() {
+  while (!guards_.empty() && guards_.front().second.expired()) {
+    expired_prefix_ = guards_.front().first + 1;
+    guards_.pop_front();
+  }
+  if (guards_.empty()) expired_prefix_ = next_guard_seq_;
+  while (!limbo_.empty() && limbo_.front().first <= expired_prefix_) {
+    const Slot slot = limbo_.front().second;
+    limbo_.pop_front();
+    slot_ref(slot) = Subscription{};  // now unreachable from any snapshot
+    free_.push_back(slot);
+  }
+}
+
 void SubscriptionStore::clear() {
-  slots_.clear();
+  for (auto& chunk : chunks_) chunk.reset();
+  next_ = 0;
   refs_.clear();
   free_.clear();
   by_id_.clear();
+  next_guard_seq_ = 0;
+  expired_prefix_ = 0;
+  guards_.clear();
+  limbo_.clear();
 }
 
 }  // namespace bluedove

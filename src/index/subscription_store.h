@@ -11,10 +11,26 @@
 // register the same subscription in several dimension sets (handover copies
 // after a split land this way); the slot is recycled once the last index
 // releases it.
+//
+// Concurrent readers. Slots live in geometrically-growing chunks (chunk k
+// holds 64<<k entries), so at(slot) is address-stable: growth allocates a
+// new chunk and never moves existing entries, making concurrent at() calls
+// on *published* slots safe while the owning (node) thread keeps acquiring.
+// For removal the store is epoch-guarded: index snapshots handed to offload
+// workers hold an epoch_guard(); a slot released while any guard is live is
+// parked in limbo and only recycled (or overwritten) once every guard
+// issued before the release has been dropped. With no guards ever taken —
+// the simulator path — release recycles immediately, preserving the legacy
+// LIFO reuse order byte-for-byte.
 
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "attr/subscription.h"
@@ -33,7 +49,8 @@ class SubscriptionStore {
   Slot acquire(const Subscription& sub);
 
   /// Drops one reference to the subscription with this id; frees the slot
-  /// when it was the last one. Returns false when the id is not stored.
+  /// when it was the last one (deferring the actual recycle while epoch
+  /// guards are outstanding). Returns false when the id is not stored.
   bool release(SubscriptionId id);
 
   /// Slot of a stored subscription id, or kNoSlot.
@@ -42,20 +59,56 @@ class SubscriptionStore {
     return it == by_id_.end() ? kNoSlot : it->second;
   }
 
-  /// The subscription in a live slot. The reference is invalidated by the
-  /// next acquire()/release(); copy out what you keep.
-  const Subscription& at(Slot slot) const { return slots_[slot]; }
+  /// The subscription in a slot. Address-stable: safe to call from offload
+  /// workers for any slot published in a snapshot they hold a guard for,
+  /// while the node thread keeps mutating the store.
+  const Subscription& at(Slot slot) const { return slot_ref(slot); }
+
+  /// Pins the current epoch: slots released while the returned token (or
+  /// any copy of it) is alive are parked, not recycled, so index snapshots
+  /// taken now stay valid on other threads. Drop the token to let the
+  /// parked slots collect. Cheap — one shared_ptr allocation per call.
+  std::shared_ptr<const void> epoch_guard();
 
   std::size_t live() const { return by_id_.size(); }
-  std::size_t capacity() const { return slots_.size(); }
+  std::size_t capacity() const { return next_; }
+  /// Slots parked until outstanding epoch guards drop (introspection).
+  std::size_t limbo() const { return limbo_.size(); }
 
   void clear();
 
  private:
-  std::vector<Subscription> slots_;
-  std::vector<std::uint32_t> refs_;  ///< parallel to slots_; 0 = free
+  /// First chunk holds 64 slots; chunk k holds 64<<k, so 27 chunks cover
+  /// the full 32-bit slot space with at most 27 allocations.
+  static constexpr std::uint32_t kChunkBase = 64;
+  static constexpr std::size_t kMaxChunks = 27;
+
+  Subscription& slot_ref(Slot slot) const {
+    const std::uint32_t adj = slot / kChunkBase + 1;
+    const int k = std::bit_width(adj) - 1;
+    const Slot base = (kChunkBase << k) - kChunkBase;
+    return chunks_[static_cast<std::size_t>(k)][slot - base];
+  }
+
+  /// Expires dead guards and moves collectable limbo slots to the free
+  /// list. Called before allocating a fresh slot.
+  void collect();
+
+  mutable std::array<std::unique_ptr<Subscription[]>, kMaxChunks> chunks_;
+  Slot next_ = 0;  ///< allocation high-water mark
+  std::vector<std::uint32_t> refs_;  ///< indexed by slot; 0 = free
   std::vector<Slot> free_;
   std::unordered_map<SubscriptionId, Slot> by_id_;
+
+  // Epoch machinery. Guards are ordered by issue sequence; expired_prefix_
+  // is the sequence below which every guard has been dropped. A released
+  // slot is parked with the current next_guard_seq_ and becomes collectable
+  // once expired_prefix_ reaches it (conservative: one long-lived guard
+  // delays everything parked after it — bounded by churn volume).
+  std::uint64_t next_guard_seq_ = 0;
+  std::uint64_t expired_prefix_ = 0;
+  std::deque<std::pair<std::uint64_t, std::weak_ptr<const void>>> guards_;
+  std::deque<std::pair<std::uint64_t, Slot>> limbo_;
 };
 
 }  // namespace bluedove

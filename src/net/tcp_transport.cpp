@@ -123,6 +123,22 @@ class TcpHost::Context final : public NodeContext {
 
   Rng& rng() override { return rng_; }
 
+  bool enable_offload(int workers, std::size_t lanes) override {
+    return host_->enable_offload(workers, lanes);
+  }
+
+  void offload(std::size_t lane, OffloadWork work, OffloadDone done) override {
+    if (host_->executor_ != nullptr &&
+        host_->executor_->submit(lane, work, done)) {
+      return;
+    }
+    // No pool or the lane is full: run inline on the node thread and defer
+    // the completion, matching the single-threaded contract.
+    OffloadWorker self{-1, &rng_};
+    const double units = work(self);
+    charge(units, [done = std::move(done), units] { done(units); });
+  }
+
  private:
   TcpHost* host_;
   Rng rng_;
@@ -138,6 +154,7 @@ TcpHost::TcpHost(NodeId self, std::uint16_t listen_port,
     : self_(self),
       node_(std::move(node)),
       wire_(wire),
+      seed_(seed ^ self),
       ctx_(std::make_unique<Context>(this, seed ^ self)),
       epoch_(std::chrono::steady_clock::now()) {
   if (wire_.batch < 1) wire_.batch = 1;
@@ -264,6 +281,10 @@ void TcpHost::stop() {
     }
   }
   if (node_thread_.joinable()) node_thread_.join();
+  // Stop the offload pool after the node thread is gone: no new submissions
+  // can arrive, running jobs finish, and their completions are dropped by
+  // enqueue_task's stopping check.
+  if (executor_ != nullptr) executor_->stop();
   if (node_) node_->stop();
 }
 
@@ -318,6 +339,23 @@ void TcpHost::reader_loop(int fd) {
     std::erase(accepted_fds_, fd);
   }
   ::close(fd);
+}
+
+bool TcpHost::enable_offload(int workers, std::size_t lanes) {
+  if (workers < 1) return false;
+  if (executor_ != nullptr) return true;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return false;
+  }
+  runtime::MatchExecutorConfig cfg;
+  cfg.workers = workers;
+  cfg.lanes = std::max<std::size_t>(lanes, 1);
+  cfg.seed = seed_;
+  executor_ = std::make_unique<runtime::MatchExecutor>(
+      cfg, [this](std::function<void()> fn) { enqueue_task(std::move(fn)); },
+      &wire_metrics_);
+  return true;
 }
 
 void TcpHost::enqueue_task(std::function<void()> fn) {

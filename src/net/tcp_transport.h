@@ -51,6 +51,7 @@
 #include "common/rng.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "runtime/match_executor.h"
 
 namespace bluedove::net {
 
@@ -158,6 +159,10 @@ class TcpHost {
   void node_loop();
   void writer_loop();
   void enqueue_task(std::function<void()> fn);
+  /// Creates the node's offload worker pool (idempotent); completions are
+  /// posted back through the node task queue. Called from Node::start on
+  /// the node thread.
+  bool enable_offload(int workers, std::size_t lanes);
 
   bool send_to(NodeId peer, const Envelope& env);
   bool send_sync(NodeId peer, const Envelope& env);
@@ -180,7 +185,12 @@ class TcpHost {
   NodeId self_;
   std::unique_ptr<Node> node_;
   WireConfig wire_;
+  std::uint64_t seed_ = 0;  ///< node seed; also seeds offload worker streams
   std::unique_ptr<Context> ctx_;
+  /// Offload worker pool (created by enable_offload on the node thread,
+  /// stopped after the node thread joins; its exec.* instruments live in
+  /// wire_metrics_ so stats exports pick them up).
+  std::unique_ptr<runtime::MatchExecutor> executor_;
 
   // Written by the constructor and stop(), read by accept_loop() while it
   // blocks in accept(); atomic so the shutdown handshake (close the

@@ -8,9 +8,12 @@
 //   * runtime::ThreadCluster — one real thread per node with real queues
 //     (drives the examples and threaded integration tests).
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "common/offload.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/protocol.h"
@@ -47,6 +50,35 @@ class NodeContext {
 
   /// Per-node deterministic random stream.
   virtual Rng& rng() = 0;
+
+  /// Asks the substrate to service offload() with `workers` real threads
+  /// draining `lanes` work queues (the matcher passes one lane per
+  /// dimension). Returns true when real parallelism is available. The
+  /// default — and the simulator — return false: offload() then stays the
+  /// deterministic inline-work + charge() path, which is what keeps the
+  /// discrete-event experiments bit-identical while the same node code
+  /// saturates real cores on the threaded substrates. Call once, from
+  /// Node::start.
+  virtual bool enable_offload(int workers, std::size_t lanes) {
+    (void)workers;
+    (void)lanes;
+    return false;
+  }
+
+  /// Runs `work` (a read-only computation returning the work units it
+  /// spent), then `done(units)` back on this node's serialized execution
+  /// context. When enable_offload() accepted, work runs on a pool worker —
+  /// queued on `lane`, stolen by idle workers when its home lane backs up —
+  /// and only `done` returns to the node context. Otherwise work runs
+  /// inline here and the completion is deferred through charge(), so
+  /// callers that bound their in-flight services (the matcher's core
+  /// accounting) behave identically on every substrate.
+  virtual void offload(std::size_t lane, OffloadWork work, OffloadDone done) {
+    (void)lane;
+    OffloadWorker self{-1, &rng()};
+    const double units = work(self);
+    charge(units, [done = std::move(done), units] { done(units); });
+  }
 };
 
 /// A cluster node. Implementations must not block inside handlers.

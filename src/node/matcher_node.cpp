@@ -25,19 +25,21 @@ MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
   // Arena-backed engines share one per-matcher store across the k
   // dimension indexes, so a subscription copied into several sets is still
   // held once.
-  std::shared_ptr<SubscriptionStore> store;
   if (config_.index_kind == IndexKind::kFlatBucket) {
-    store = std::make_shared<SubscriptionStore>();
+    store_ = std::make_shared<SubscriptionStore>();
   }
   sets_.resize(k);
   for (std::size_t d = 0; d < k; ++d) {
     sets_[d].index = make_index(config_.index_kind, static_cast<DimId>(d),
-                                config_.domains[d], store);
+                                config_.domains[d], store_);
     const std::string prefix = "matcher.dim" + std::to_string(d);
     sets_[d].queue_depth = &metrics_.gauge(prefix + ".queue_depth");
     sets_[d].queue_high_water = &metrics_.gauge(prefix + ".queue_high_water");
   }
   wide_ = std::make_unique<LinearScanIndex>(static_cast<DimId>(0));
+  // One probe-scratch slot per pool worker plus a trailing slot for inline
+  // runs (OffloadWorker::index == -1), which the node thread serializes.
+  scratch_.resize(static_cast<std::size_t>(std::max(config_.cores, 1)) + 1);
   joined_dims_.assign(k, false);
   pending_segments_.assign(k, Range{});
 }
@@ -49,6 +51,11 @@ void MatcherNode::set_bootstrap(ClusterTable table) {
 
 void MatcherNode::start(NodeContext& ctx) {
   ctx_ = &ctx;
+  // One work lane per dimension queue (SEDA stage); the substrate decides
+  // whether `cores` real workers back them. The simulator declines and
+  // offload() stays the deterministic inline + charge path.
+  parallel_ = ctx.enable_offload(config_.cores,
+                                 std::max<std::size_t>(dims(), 1));
   if (has_bootstrap_) {
     gossiper_.start(ctx, std::move(bootstrap_));
   } else {
@@ -107,6 +114,7 @@ void MatcherNode::store_one(const Subscription& sub, DimId dim) {
   if (dim == kWideDim) {
     if (wide_ids_.insert(sub.id).second) {
       wide_->insert(std::make_shared<const Subscription>(sub));
+      wide_dirty_ = true;
     }
     return;
   }
@@ -114,17 +122,20 @@ void MatcherNode::store_one(const Subscription& sub, DimId dim) {
   DimSet& set = sets_[dim];
   if (set.ids.insert(sub.id).second) {
     set.index->insert(std::make_shared<const Subscription>(sub));
+    set.dirty = true;
   }
 }
 
 bool MatcherNode::remove_one(SubscriptionId id, DimId dim) {
   if (dim == kWideDim) {
     if (wide_ids_.erase(id) == 0) return false;
+    wide_dirty_ = true;
     return wide_->erase(id);
   }
   if (dim >= dims()) return false;
   DimSet& set = sets_[dim];
   if (set.ids.erase(id) == 0) return false;
+  set.dirty = true;
   return set.index->erase(id);
 }
 
@@ -196,98 +207,163 @@ void MatcherNode::pump() {
   }
 }
 
+void MatcherNode::refresh_snapshots(DimSet& set) {
+  if (set.dirty) {
+    set.snapshot =
+        std::shared_ptr<const SubscriptionIndex>(set.index->clone());
+    // Guard taken after the clone: slots released before this point are
+    // absent from the snapshot and stay collectable.
+    set.snapshot_guard = store_ != nullptr ? store_->epoch_guard() : nullptr;
+    set.dirty = false;
+  }
+  if (wide_dirty_) {
+    wide_snapshot_ =
+        std::shared_ptr<const SubscriptionIndex>(wide_->clone());
+    wide_dirty_ = false;
+  }
+}
+
 void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
   const DimId dim = reqs.front().dim;
   DimSet& set = sets_[dim];
-  const auto n = reqs.size();
-  double work = config_.base_match_work * static_cast<double>(n);
-
-  // Hits for reqs[i] are hits[offsets[i] .. offsets[i+1]) (dimension set)
-  // plus wide_hits[wide_offsets[i] .. wide_offsets[i+1]) (wide set).
-  std::vector<MatchHit> hits, wide_hits;
-  std::vector<std::uint32_t> offsets, wide_offsets;
-
-  if (config_.match_mode == MatcherConfig::MatchMode::kFull) {
-    std::vector<Message> msgs;
-    msgs.reserve(n);
-    for (const MatchRequest& req : reqs) {
-      // Matching only reads id + coordinates; don't copy the payload.
-      msgs.push_back(Message{req.msg.id, req.msg.values, {}});
-    }
-    WorkCounter wc;
-    set.index->match_batch(msgs, hits, offsets, wc);
-    wide_->match_batch(msgs, wide_hits, wide_offsets, wc);
-    work += wc.total();
-  } else {
-    for (const MatchRequest& req : reqs) {
-      work += set.index->match_cost(req.msg);
-      work += static_cast<double>(wide_->size());
-    }
-  }
 
   const Timestamp service_start = ctx_->now();
   for (MatchRequest& req : reqs) {
     req.hops.match_start = service_start;
     m_queue_lat_->record(service_start - req.hops.enqueued_at);
   }
-  ctx_->charge(work, [this, reqs = std::move(reqs), work, service_start,
-                      hits = std::move(hits), offsets = std::move(offsets),
-                      wide_hits = std::move(wide_hits),
-                      wide_offsets = std::move(wide_offsets)]() mutable {
-    const auto n = reqs.size();
-    DimSet& done_set = sets_[reqs.front().dim];
-    const double duration = ctx_->now() - service_start;
-    busy_seconds_in_window_ += duration;
-    const double per_msg = duration / static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      done_set.ewma_service_time =
-          done_set.ewma_service_time <= 0.0
-              ? per_msg
-              : 0.8 * done_set.ewma_service_time + 0.2 * per_msg;
-    }
-    const bool deliver =
-        config_.match_mode == MatcherConfig::MatchMode::kFull &&
-        config_.deliver && config_.delivery_sink != kInvalidNode;
-    const double work_per_msg = work / static_cast<double>(n);
-    const Timestamp service_end = ctx_->now();
-    const double per_msg_latency = service_end - service_start;
-    for (std::size_t i = 0; i < n; ++i) {
-      MatchRequest& req = reqs[i];
-      req.hops.match_end = service_end;
-      m_match_lat_->record(per_msg_latency);
-      std::uint32_t match_count = 0;
-      if (!offsets.empty()) {
-        match_count += offsets[i + 1] - offsets[i];
-        match_count += wide_offsets[i + 1] - wide_offsets[i];
+
+  auto job = std::make_shared<ServiceJob>();
+  job->reqs = std::move(reqs);
+  job->service_start = service_start;
+
+  // Which index views this service probes: the live indexes on the inline
+  // path (simulator / no pool — probe and mutation share the node thread),
+  // immutable snapshots when a worker pool is running, so store/remove/
+  // split on the node thread never race an in-flight probe.
+  const SubscriptionIndex* dim_index = set.index.get();
+  const SubscriptionIndex* wide_index = wide_.get();
+  std::shared_ptr<const SubscriptionIndex> dim_snap;
+  std::shared_ptr<const SubscriptionIndex> wide_snap;
+  std::shared_ptr<const void> arena_guard;
+  if (parallel_) {
+    refresh_snapshots(set);
+    dim_snap = set.snapshot;
+    wide_snap = wide_snapshot_;
+    arena_guard = set.snapshot_guard;
+    dim_index = dim_snap.get();
+    wide_index = wide_snap.get();
+  }
+
+  const auto mode = config_.match_mode;
+  const double base = config_.base_match_work;
+  OffloadWork work_fn = [this, job, dim_index, wide_index,
+                         dim_snap = std::move(dim_snap),
+                         wide_snap = std::move(wide_snap),
+                         arena_guard = std::move(arena_guard), mode,
+                         base](OffloadWorker& w) {
+    const auto n = job->reqs.size();
+    double work = base * static_cast<double>(n);
+    job->per_req_work.assign(n, base);
+    if (mode == MatcherConfig::MatchMode::kFull) {
+      std::vector<Message> msgs;
+      msgs.reserve(n);
+      for (const MatchRequest& req : job->reqs) {
+        // Matching only reads id + coordinates; don't copy the payload.
+        msgs.push_back(Message{req.msg.id, req.msg.values, {}});
       }
-      if (deliver && match_count != 0) {
-        // One heap copy of the payload for the whole fan-out; every
-        // Delivery shares it through the PayloadRef.
-        const PayloadRef payload(std::move(req.msg.payload));
-        auto send_one = [&](const MatchHit& hit) {
-          Delivery d;
-          d.msg_id = req.msg.id;
-          d.sub_id = hit.id;
-          d.subscriber = hit.subscriber;
-          d.dispatched_at = req.dispatched_at;
-          d.values = req.msg.values;
-          d.payload = payload;
-          d.trace_id = req.trace_id;
-          m_deliveries_->inc();
-          ctx_->send(config_.delivery_sink, Envelope::of(std::move(d)));
-        };
-        for (std::uint32_t h = offsets[i]; h < offsets[i + 1]; ++h) {
-          send_one(hits[h]);
-        }
-        for (std::uint32_t h = wide_offsets[i]; h < wide_offsets[i + 1]; ++h) {
-          send_one(wide_hits[h]);
-        }
+      const std::size_t slot =
+          w.index >= 0 &&
+                  static_cast<std::size_t>(w.index) + 1 < scratch_.size()
+              ? static_cast<std::size_t>(w.index)
+              : scratch_.size() - 1;
+      MatchScratch& scratch = scratch_[slot];
+      // One WorkCounter across both probes keeps the charged total
+      // bit-identical to the pre-offload engine; the per-probe deltas give
+      // each request its exact share.
+      WorkCounter wc;
+      std::vector<double> dim_work, wide_work;
+      dim_work.reserve(n);
+      wide_work.reserve(n);
+      dim_index->match_batch(msgs, job->hits, job->offsets, wc, &dim_work,
+                             &scratch);
+      wide_index->match_batch(msgs, job->wide_hits, job->wide_offsets, wc,
+                              &wide_work, &scratch);
+      work += wc.total();
+      for (std::size_t i = 0; i < n; ++i) {
+        job->per_req_work[i] += dim_work[i];
+        job->per_req_work[i] += wide_work[i];
       }
-      finish(req, match_count, work_per_msg);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dim_cost = dim_index->match_cost(job->reqs[i].msg);
+        const double wide_cost = static_cast<double>(wide_index->size());
+        work += dim_cost;
+        work += wide_cost;
+        job->per_req_work[i] += dim_cost;
+        job->per_req_work[i] += wide_cost;
+      }
     }
-    --busy_cores_;
-    pump();
-  });
+    return work;
+  };
+  ctx_->offload(dim, std::move(work_fn),
+                [this, job](double) { complete_batch(*job); });
+}
+
+void MatcherNode::complete_batch(ServiceJob& job) {
+  const auto n = job.reqs.size();
+  DimSet& done_set = sets_[job.reqs.front().dim];
+  const double duration = ctx_->now() - job.service_start;
+  busy_seconds_in_window_ += duration;
+  const double per_msg = duration / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    done_set.ewma_service_time =
+        done_set.ewma_service_time <= 0.0
+            ? per_msg
+            : 0.8 * done_set.ewma_service_time + 0.2 * per_msg;
+  }
+  const bool deliver =
+      config_.match_mode == MatcherConfig::MatchMode::kFull &&
+      config_.deliver && config_.delivery_sink != kInvalidNode;
+  const Timestamp service_end = ctx_->now();
+  const double per_msg_latency = service_end - job.service_start;
+  for (std::size_t i = 0; i < n; ++i) {
+    MatchRequest& req = job.reqs[i];
+    req.hops.match_end = service_end;
+    m_match_lat_->record(per_msg_latency);
+    std::uint32_t match_count = 0;
+    if (!job.offsets.empty()) {
+      match_count += job.offsets[i + 1] - job.offsets[i];
+      match_count += job.wide_offsets[i + 1] - job.wide_offsets[i];
+    }
+    if (deliver && match_count != 0) {
+      // One heap copy of the payload for the whole fan-out; every
+      // Delivery shares it through the PayloadRef.
+      const PayloadRef payload(std::move(req.msg.payload));
+      auto send_one = [&](const MatchHit& hit) {
+        Delivery d;
+        d.msg_id = req.msg.id;
+        d.sub_id = hit.id;
+        d.subscriber = hit.subscriber;
+        d.dispatched_at = req.dispatched_at;
+        d.values = req.msg.values;
+        d.payload = payload;
+        d.trace_id = req.trace_id;
+        m_deliveries_->inc();
+        ctx_->send(config_.delivery_sink, Envelope::of(std::move(d)));
+      };
+      for (std::uint32_t h = job.offsets[i]; h < job.offsets[i + 1]; ++h) {
+        send_one(job.hits[h]);
+      }
+      for (std::uint32_t h = job.wide_offsets[i]; h < job.wide_offsets[i + 1];
+           ++h) {
+        send_one(job.wide_hits[h]);
+      }
+    }
+    finish(req, match_count, job.per_req_work[i]);
+  }
+  --busy_cores_;
+  pump();
 }
 
 void MatcherNode::finish(const MatchRequest& req, std::uint32_t match_count,

@@ -34,8 +34,9 @@ struct MatcherConfig {
   /// Maximum MatchRequests one core drains from a dimension queue per
   /// service: the batch goes through SubscriptionIndex::match_batch in one
   /// call, amortizing probe setup and scratch allocation. 1 reproduces
-  /// strict per-message service (and per-message work attribution in
-  /// MatchCompleted; batches report the batch-average work per message).
+  /// strict per-message service. MatchCompleted.work_units is exact per
+  /// request either way (each request's own probe counters, not the batch
+  /// average).
   int match_batch = 1;
 
   /// kFull computes and delivers real match sets; kCostOnly skips the match
@@ -113,6 +114,29 @@ class MatcherNode final : public Node {
     // Per-dimension stage-queue instrumentation (cached registry pointers).
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_high_water = nullptr;
+    /// Copy-on-write read snapshot for offloaded matching: refreshed from
+    /// `index` at dispatch time when mutations landed since the last
+    /// service (`dirty`). `snapshot_guard` pins the arena epoch so
+    /// slot-backed engines keep released slots readable until every job
+    /// holding the snapshot has completed.
+    bool dirty = true;
+    std::shared_ptr<const SubscriptionIndex> snapshot;
+    std::shared_ptr<const void> snapshot_guard;
+  };
+
+  /// Shared state for one in-flight service: built on the node thread,
+  /// filled by the (possibly offloaded) match computation, consumed by
+  /// complete_batch back on the node thread.
+  struct ServiceJob {
+    std::vector<MatchRequest> reqs;
+    Timestamp service_start = 0.0;
+    // Hits for reqs[i] are hits[offsets[i] .. offsets[i+1]) (dimension set)
+    // plus wide_hits[wide_offsets[i] .. wide_offsets[i+1]) (wide set).
+    std::vector<MatchHit> hits, wide_hits;
+    std::vector<std::uint32_t> offsets, wide_offsets;
+    /// Exact work units attributable to reqs[i] (base cost plus its own
+    /// probe counters), independent of how the batch was packed.
+    std::vector<double> per_req_work;
   };
 
   std::size_t dims() const { return sets_.size(); }
@@ -140,7 +164,16 @@ class MatcherNode final : public Node {
   void pump();
   /// Services up to config_.match_batch requests from one dimension queue
   /// on a single core, draining them through the index's batched probe.
+  /// The probe itself is dispatched through NodeContext::offload — onto a
+  /// real worker thread when the substrate granted a pool, inline (then
+  /// charged) otherwise.
   void service_batch(std::vector<MatchRequest> reqs);
+  /// Refreshes the dimension + wide snapshots if mutations landed since
+  /// the last offloaded service.
+  void refresh_snapshots(DimSet& set);
+  /// Second half of service_batch, back on the node thread: EWMA update,
+  /// Delivery fan-out, acks, core release.
+  void complete_batch(ServiceJob& job);
   void finish(const MatchRequest& req, std::uint32_t match_count,
               double work_units);
 
@@ -172,6 +205,17 @@ class MatcherNode final : public Node {
   std::vector<DimSet> sets_;
   std::unique_ptr<SubscriptionIndex> wide_;  ///< always-searched wide set
   std::unordered_set<SubscriptionId> wide_ids_;
+  /// Arena shared by slot-backed dimension indexes (kFlatBucket only);
+  /// epoch-guarded so offloaded snapshots read released slots safely.
+  std::shared_ptr<SubscriptionStore> store_;
+  /// True when the substrate granted a real worker pool (enable_offload);
+  /// services then probe immutable snapshots instead of the live indexes.
+  bool parallel_ = false;
+  /// Per-worker probe scratch, indexed by OffloadWorker::index; the last
+  /// slot serves inline runs (index -1), which the node thread serializes.
+  std::vector<MatchScratch> scratch_;
+  std::shared_ptr<const SubscriptionIndex> wide_snapshot_;
+  bool wide_dirty_ = true;
 
   int busy_cores_ = 0;
   std::size_t next_queue_ = 0;  ///< round-robin pointer across dim queues

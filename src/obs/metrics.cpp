@@ -142,4 +142,12 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
 }
 
+MetricsSnapshot MetricsSnapshot::prefixed(const std::string& prefix) const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : counters) out.counters[prefix + name] = v;
+  for (const auto& [name, v] : gauges) out.gauges[prefix + name] = v;
+  for (const auto& [name, h] : histograms) out.histograms[prefix + name] = h;
+  return out;
+}
+
 }  // namespace bluedove::obs

@@ -118,6 +118,11 @@ struct MetricsSnapshot {
   /// Element-wise accumulate: counters/histograms/gauges all add.
   void merge(const MetricsSnapshot& other);
 
+  /// Copy of this snapshot with `prefix` prepended to every metric name.
+  /// Substrates use it to fold per-node registries (a node's exec.* pool
+  /// instruments) into one cluster snapshot without name collisions.
+  MetricsSnapshot prefixed(const std::string& prefix) const;
+
   friend bool operator==(const MetricsSnapshot& a, const MetricsSnapshot& b) {
     return a.counters == b.counters && a.gauges == b.gauges &&
            a.histograms == b.histograms;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "runtime/match_executor.h"
 
 namespace bluedove::runtime {
 
@@ -25,6 +26,10 @@ class ThreadCluster::Context final : public NodeContext {
   void cancel_timer(TimerId id) override;
   void charge(double work_units, std::function<void()> done) override;
   Rng& rng() override { return rng_; }
+  bool enable_offload(int workers, std::size_t lanes) override {
+    return cluster_->enable_offload(id_, workers, lanes);
+  }
+  void offload(std::size_t lane, OffloadWork work, OffloadDone done) override;
 
  private:
   ThreadCluster* cluster_;
@@ -34,8 +39,12 @@ class ThreadCluster::Context final : public NodeContext {
 
 struct ThreadCluster::NodeRuntime {
   NodeId id = kInvalidNode;
+  std::uint64_t seed = 0;  ///< also seeds the node's offload worker streams
   std::unique_ptr<Node> node;
   std::unique_ptr<Context> ctx;
+  /// Per-node exec.* instruments (worker pool); merged into the cluster
+  /// snapshot under runtime.node<id>.
+  obs::MetricsRegistry exec_metrics;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -52,6 +61,10 @@ struct ThreadCluster::NodeRuntime {
   /// SEDA-stage instrumentation for the task queue (messages + deferred
   /// completions): depth, high-water mark, drops when the inbox is full.
   QueueStats inbox_stats;
+  /// Offload worker pool; created lazily by Context::enable_offload.
+  /// Declared last so it is destroyed first: its workers reference the
+  /// fields above through the completion-post closure.
+  std::unique_ptr<MatchExecutor> executor;
 };
 
 ThreadCluster::ThreadCluster(ThreadClusterConfig config)
@@ -66,8 +79,9 @@ Timestamp ThreadCluster::now() const {
 void ThreadCluster::add_node(NodeId id, std::unique_ptr<Node> node) {
   auto rt = std::make_unique<NodeRuntime>();
   rt->id = id;
+  rt->seed = seed_rng_.next_u64();
   rt->node = std::move(node);
-  rt->ctx = std::make_unique<Context>(this, id, seed_rng_.next_u64());
+  rt->ctx = std::make_unique<Context>(this, id, rt->seed);
   rt->inbox_capacity = config_.inbox_capacity;
   std::lock_guard lock(nodes_mu_);
   nodes_[id] = std::move(rt);
@@ -105,6 +119,10 @@ void ThreadCluster::stop(NodeId id) {
   }
   rt->cv.notify_all();
   if (rt->thread.joinable()) rt->thread.join();
+  // Stop the offload pool after the node thread is gone: no new submissions
+  // can arrive, running jobs finish, and their completions are dropped by
+  // post_completion's stopping check.
+  if (rt->executor != nullptr) rt->executor->stop();
 }
 
 void ThreadCluster::shutdown() {
@@ -235,6 +253,49 @@ void ThreadCluster::Context::charge(double /*work_units*/,
   rt->cv.notify_one();
 }
 
+bool ThreadCluster::enable_offload(NodeId id, int workers, std::size_t lanes) {
+  NodeRuntime* rt = runtime(id);
+  if (rt == nullptr || workers < 1) return false;
+  if (rt->executor != nullptr) return true;
+  MatchExecutorConfig cfg;
+  cfg.workers = workers;
+  cfg.lanes = std::max<std::size_t>(lanes, 1);
+  cfg.lane_capacity = rt->inbox_capacity;
+  cfg.seed = rt->seed;
+  rt->executor = std::make_unique<MatchExecutor>(
+      cfg,
+      [this, rt](std::function<void()> fn) {
+        post_completion(*rt, std::move(fn));
+      },
+      &rt->exec_metrics);
+  return true;
+}
+
+void ThreadCluster::post_completion(NodeRuntime& rt, std::function<void()> fn) {
+  {
+    std::lock_guard lock(rt.mu);
+    if (rt.stopping) return;
+    rt.tasks.push_back(std::move(fn));
+    rt.inbox_stats.on_enqueue();
+  }
+  rt.cv.notify_one();
+}
+
+void ThreadCluster::Context::offload(std::size_t lane, OffloadWork work,
+                                     OffloadDone done) {
+  NodeRuntime* rt = cluster_->runtime(id_);
+  if (rt != nullptr && rt->executor != nullptr &&
+      rt->executor->submit(lane, work, done)) {
+    return;
+  }
+  // No pool (enable_offload never accepted) or the lane is full: run inline
+  // on the node thread and defer the completion, exactly like the
+  // single-threaded substrate contract.
+  OffloadWorker self{-1, &rng_};
+  const double units = work(self);
+  charge(units, [done = std::move(done), units] { done(units); });
+}
+
 const QueueStats* ThreadCluster::inbox_stats(NodeId id) const {
   auto* self = const_cast<ThreadCluster*>(this);
   NodeRuntime* rt = self->runtime(id);
@@ -257,6 +318,9 @@ obs::MetricsSnapshot ThreadCluster::metrics_snapshot() const {
         s.dequeued.load(std::memory_order_relaxed);
     snap.counters[prefix + ".inbox_dropped"] =
         s.dropped.load(std::memory_order_relaxed);
+    if (rt->executor != nullptr) {
+      snap.merge(rt->exec_metrics.snapshot().prefixed(prefix + "."));
+    }
   }
   snap.counters["runtime.dropped_messages"] =
       dropped_.load(std::memory_order_relaxed);

@@ -86,6 +86,14 @@ class ThreadCluster {
   NodeRuntime* runtime(NodeId id);
   void enqueue(NodeId to, NodeId from, Envelope env);
   void node_loop(NodeRuntime& rt);
+  /// Creates the node's MatchExecutor pool (idempotent). Called by the
+  /// node's Context from Node::start, i.e. on the node thread.
+  bool enable_offload(NodeId id, int workers, std::size_t lanes);
+  /// Ships an offload completion into the node's task queue. Unlike
+  /// enqueue(), completions are never dropped for capacity — a caller that
+  /// bounds its in-flight work by completions (the matcher's core
+  /// accounting) must see every one of them.
+  void post_completion(NodeRuntime& rt, std::function<void()> fn);
 
   ThreadClusterConfig config_;
   std::chrono::steady_clock::time_point epoch_;

@@ -11,6 +11,11 @@
 //   --dims=K --domain=L              schema (default 4 x [0,1000))
 //   --index=bucket|flat-bucket|interval-tree|linear-scan   (matcher only)
 //   --match-batch=N                  matcher batch drain depth (default 1)
+//   --cores=N                        matcher offload worker threads
+//                                    (default 4): index probes run on a
+//                                    work-stealing pool off the node
+//                                    thread, one lane per dimension
+//                                    (DESIGN.md §10)
 //   --trace-sample=R                 dispatcher trace sampling rate [0,1]
 //   --wire-batch=N                   envelopes coalesced per TCP frame; >1
 //                                    also enables the async writer pool and

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the tree with ASan+UBSan (-DBLUEDOVE_SANITIZE=ON) and runs the full
-# test suite under it (including the `wire` label: batched transport framing,
-# writer pool, backpressure). The arena/SoA index code moves raw slots instead
-# of shared_ptrs, so this is the lifetime/bounds safety net for src/index, and
-# the pooled serialization buffers in src/net get the same coverage.
+# test suite under it (including the `wire` label — batched transport framing,
+# writer pool, backpressure — and the `parallel` label — offload worker pool,
+# epoch-guarded subscription store, index snapshots). The arena/SoA index code
+# moves raw slots instead of shared_ptrs, so this is the lifetime/bounds
+# safety net for src/index, and the pooled serialization buffers in src/net
+# get the same coverage.
 #
 # Usage: tools/sanitize_check.sh [ctest-args...]
 set -euo pipefail

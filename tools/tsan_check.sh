@@ -2,8 +2,10 @@
 # Builds the tree with ThreadSanitizer (-DBLUEDOVE_TSAN=ON) and runs the
 # concurrency-sensitive suites under it: the thread-cluster runtime, the TCP
 # transport, the batched wire path (writer pool, per-peer queues, buffer
-# pool), the node logic they drive, and the obs metrics hot path (relaxed
-# atomics updated from matcher worker threads while snapshots read them).
+# pool), the node logic they drive, the obs metrics hot path (relaxed
+# atomics updated from matcher worker threads while snapshots read them),
+# and the `parallel` label (offload worker pool, work-stealing lanes,
+# epoch-guarded store, snapshot-vs-churn differential).
 #
 # Usage: tools/tsan_check.sh [ctest-args...]
 set -euo pipefail
@@ -20,3 +22,5 @@ cmake --build "${build_dir}" -j "${jobs}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
   -R 'Tcp|Wire|ThreadCluster|Logger|Registry|BoundedQueue|LatencyHistogram' "$@"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+  -L parallel "$@"
