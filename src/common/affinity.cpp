@@ -1,0 +1,106 @@
+#include "common/affinity.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace bluedove::affinity {
+
+namespace {
+
+struct Binding {
+  Role role = Role::kUnbound;
+  const void* node = nullptr;
+};
+
+thread_local Binding tls_binding;
+
+#ifdef BLUEDOVE_AUDIT
+constexpr bool kDefaultEnabled = true;
+#else
+constexpr bool kDefaultEnabled = false;
+#endif
+
+std::atomic<bool> g_enabled{kDefaultEnabled};
+std::atomic<bool> g_fail_fast{false};
+std::atomic<std::uint64_t> g_violations{0};
+
+void violation(const char* what, const char* detail) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  BD_ERROR("affinity violation at ", what, ": ", detail);
+  if (g_fail_fast.load(std::memory_order_relaxed)) std::abort();
+}
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kNode:
+      return "node thread";
+    case Role::kWorker:
+      return "worker thread";
+    default:
+      return "unbound thread";
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool fail_fast() { return g_fail_fast.load(std::memory_order_relaxed); }
+void set_fail_fast(bool on) {
+  g_fail_fast.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+void reset_violations() { g_violations.store(0, std::memory_order_relaxed); }
+
+Role current_role() { return tls_binding.role; }
+const void* current_node() {
+  return tls_binding.role == Role::kNode ? tls_binding.node : nullptr;
+}
+
+ScopedNodeBind::ScopedNodeBind(const void* ctx)
+    : prev_role_(tls_binding.role), prev_node_(tls_binding.node) {
+  tls_binding.role = Role::kNode;
+  tls_binding.node = ctx;
+}
+
+ScopedNodeBind::~ScopedNodeBind() {
+  tls_binding.role = prev_role_;
+  tls_binding.node = prev_node_;
+}
+
+ScopedWorkerBind::ScopedWorkerBind()
+    : prev_role_(tls_binding.role), prev_node_(tls_binding.node) {
+  tls_binding.role = Role::kWorker;
+  tls_binding.node = nullptr;
+}
+
+ScopedWorkerBind::~ScopedWorkerBind() {
+  tls_binding.role = prev_role_;
+  tls_binding.node = prev_node_;
+}
+
+void assert_node_thread(const void* ctx, const char* what) {
+  if (!enabled() || ctx == nullptr) return;
+  const Binding& b = tls_binding;
+  if (b.role != Role::kNode) {
+    violation(what, role_name(b.role));
+    return;
+  }
+  if (b.node != ctx) {
+    violation(what, "another node's context");
+  }
+}
+
+void assert_worker_thread(const char* what) {
+  if (!enabled()) return;
+  if (tls_binding.role != Role::kWorker) {
+    violation(what, role_name(tls_binding.role));
+  }
+}
+
+}  // namespace bluedove::affinity

@@ -3,7 +3,9 @@
 namespace bluedove {
 
 Logger& Logger::instance() {
-  static Logger logger;
+  // Meyers singleton: initialization is thread-safe since C++11 and every
+  // member access serializes on mu_.
+  static Logger logger;  // bd-lint: allow(mutable-static)
   return logger;
 }
 

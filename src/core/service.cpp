@@ -79,11 +79,15 @@ class Service::Impl {
     return id;
   }
 
+  // The Service facade runs exclusively on the ThreadCluster substrate
+  // (real threads, real time); it is never instantiated inside the
+  // simulator, so polling the wall clock here cannot break determinism.
   bool wait_idle(double timeout_seconds) const {
     const auto deadline =
-        std::chrono::steady_clock::now() +
+        std::chrono::steady_clock::now() +  // bd-lint: allow(wall-clock)
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(timeout_seconds));
+    // bd-lint: allow(wall-clock)
     while (std::chrono::steady_clock::now() < deadline) {
       if (completed_.load(std::memory_order_relaxed) >=
           published_.load(std::memory_order_relaxed)) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "obs/audit.h"
 
 namespace bluedove {
 
@@ -108,6 +110,34 @@ void Gossiper::merge_states(const std::vector<MatcherState>& states) {
     }
   }
   if (changed && on_table_changed) on_table_changed();
+  if (obs::Audit::enabled()) audit_versions();
+}
+
+std::size_t Gossiper::audit_versions() {
+  if (!obs::Audit::enabled()) {
+    version_floor_.clear();
+    return 0;
+  }
+  std::size_t regressions = 0;
+  for (const auto& [id, entry] : table_.entries()) {
+    const std::pair<std::uint64_t, std::uint64_t> now{entry.generation,
+                                                      entry.version};
+    auto [it, inserted] = version_floor_.try_emplace(id, now);
+    if (inserted) continue;
+    if (now < it->second) {
+      ++regressions;
+      obs::Audit::report(
+          obs::AuditKind::kGossipVersion,
+          "gossiper " + std::to_string(self_) + ": endpoint " +
+              std::to_string(id) + " regressed to (" +
+              std::to_string(now.first) + "," + std::to_string(now.second) +
+              ") below high-water (" + std::to_string(it->second.first) + "," +
+              std::to_string(it->second.second) + ")");
+    } else {
+      it->second = now;
+    }
+  }
+  return regressions;
 }
 
 void Gossiper::merge_table(const ClusterTable& table) {

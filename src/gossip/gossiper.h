@@ -9,8 +9,11 @@
 // marked dead in the local table and the conviction propagates by gossip.
 
 #include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "common/affinity.h"
 #include "gossip/failure_detector.h"
 #include "net/cluster_table.h"
 #include "net/transport.h"
@@ -37,7 +40,7 @@ class Gossiper {
 
   /// Processes gossip traffic. Returns true when the envelope was a gossip
   /// message (the caller should not handle it further).
-  bool handle(NodeId from, const Envelope& env);
+  BD_NODE_THREAD bool handle(NodeId from, const Envelope& env);
 
   /// Merges an externally obtained table (e.g. a TablePullResp handed to a
   /// joining matcher) with full failure-detector bookkeeping.
@@ -65,6 +68,14 @@ class Gossiper {
   std::uint64_t rounds() const { return rounds_; }
   const FailureDetector& failure_detector() const { return fd_; }
 
+  /// Invariant audit (obs/audit.h, kGossipVersion): every table entry's
+  /// (generation, version) must be >= the high-water mark this gossiper has
+  /// ever observed for that endpoint — gossip merges may only move versions
+  /// forward. Runs after every merge when auditing is enabled; public so
+  /// tests and quiesce-point sweeps can invoke it directly. Returns the
+  /// number of regressions found this call.
+  std::size_t audit_versions();
+
  private:
   void round();
   void merge_states(const std::vector<MatcherState>& states);
@@ -77,6 +88,9 @@ class Gossiper {
   ClusterTable table_;
   FailureDetector fd_;
   std::uint64_t rounds_ = 0;
+  /// Highest (generation, version) ever observed per endpoint, maintained
+  /// only while the auditor is enabled (empty otherwise).
+  std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> version_floor_;
 };
 
 }  // namespace bluedove

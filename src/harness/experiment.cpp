@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/audit.h"
 
 namespace bluedove {
 
@@ -256,11 +257,35 @@ std::size_t Deployment::backlog() const {
   std::size_t total = 0;
   for (NodeId id : matcher_ids_) {
     if (!sim_.alive(id)) continue;
-    const auto* node =
-        static_cast<const MatcherNode*>(const_cast<sim::SimCluster&>(sim_).node(id));
+    const auto* node = sim_.node_as<const MatcherNode>(id);
     if (node != nullptr) total += node->total_queued();
   }
   return total;
+}
+
+std::size_t Deployment::audit_invariants() {
+  std::size_t violations = 0;
+  // Segment coverage: the live matchers' segments must partition every
+  // dimension's domain. Only meaningful at quiesce points with no crashed
+  // matchers (a crash leaves its segment orphaned by design, Fig 10).
+  const Range domain{0.0, config_.domain_length};
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    std::vector<Range> segments;
+    for (NodeId id : matcher_ids_) {
+      if (!sim_.alive(id)) continue;
+      const auto* m = sim_.node_as<const MatcherNode>(id);
+      if (m == nullptr) continue;
+      const MatcherState* state = m->gossiper().self_state();
+      if (state == nullptr || state->status == NodeStatus::kLeft ||
+          state->status == NodeStatus::kLeaving) {
+        continue;
+      }
+      segments.push_back(m->segment(static_cast<DimId>(d)));
+    }
+    violations += obs::audit_segment_partition("deployment", domain,
+                                               std::move(segments));
+  }
+  return violations;
 }
 
 void Deployment::sample_loads() {

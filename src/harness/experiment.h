@@ -125,6 +125,16 @@ class Deployment {
   /// the trace breakdown merged into one snapshot (the JSON/Prometheus
   /// exporters in obs/export.h take it from here).
   obs::MetricsSnapshot cluster_snapshot();
+  /// Determinism digest of the sim's delivered event stream (0 unless
+  /// config.sim.digest was set before start()).
+  std::uint64_t digest() const { return sim_.digest(); }
+  /// Quiesce-point invariant sweep (obs/audit.h): checks that the live
+  /// matchers' segment tables partition every dimension's domain. Reports
+  /// each violation under kSegment and returns the count. Call only when
+  /// the invariant is expected to hold — after settle, joins and graceful
+  /// leaves, but not after kill_matcher (a crash orphans its segment until
+  /// an operator repairs the partition, per the paper's Fig 10 design).
+  std::size_t audit_invariants();
 
   // --- topology --------------------------------------------------------------
   const std::vector<NodeId>& matcher_ids() const { return matcher_ids_; }

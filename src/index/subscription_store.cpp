@@ -1,5 +1,7 @@
 #include "index/subscription_store.h"
 
+#include "obs/audit.h"
+
 namespace bluedove {
 
 SubscriptionStore::Slot SubscriptionStore::acquire(const Subscription& sub) {
@@ -26,6 +28,8 @@ SubscriptionStore::Slot SubscriptionStore::acquire(const Subscription& sub) {
   slot_ref(slot) = sub;
   refs_[slot] = 1;
   by_id_.emplace(sub.id, slot);
+  BD_AUDIT(obs::AuditKind::kStoreAccounting, accounting_balanced(),
+           "store: live+free+limbo != allocated after acquire");
   return slot;
 }
 
@@ -49,7 +53,20 @@ bool SubscriptionStore::release(SubscriptionId id) {
       limbo_.emplace_back(next_guard_seq_, slot);
     }
   }
+  BD_AUDIT(obs::AuditKind::kStoreAccounting, accounting_balanced(),
+           "store: live+free+limbo != allocated after release");
   return true;
+}
+
+void SubscriptionStore::leak_slot_for_audit_test() {
+  const Slot slot = next_++;
+  const std::uint32_t adj = slot / kChunkBase + 1;
+  const auto k = static_cast<std::size_t>(std::bit_width(adj) - 1);
+  if (chunks_[k] == nullptr) {
+    chunks_[k] = std::make_unique<Subscription[]>(
+        static_cast<std::size_t>(kChunkBase) << k);
+  }
+  refs_.push_back(0);  // allocated, yet on no list: the accounting now leaks
 }
 
 std::shared_ptr<const void> SubscriptionStore::epoch_guard() {

@@ -75,6 +75,18 @@ class SubscriptionStore {
   /// Slots parked until outstanding epoch guards drop (introspection).
   std::size_t limbo() const { return limbo_.size(); }
 
+  /// Slot-accounting invariant (obs/audit.h, kStoreAccounting): every slot
+  /// ever allocated is exactly one of live, free, or limbo. O(1).
+  bool accounting_balanced() const {
+    return by_id_.size() + free_.size() + limbo_.size() == next_;
+  }
+
+  /// TEST ONLY: allocates a slot that is tracked by none of live/free/limbo,
+  /// unbalancing the accounting so tests can prove the auditor trips. The
+  /// leaked slot is never handed out (refcount stays 0 and it is not on the
+  /// free list), so normal operation continues safely around the hole.
+  void leak_slot_for_audit_test();
+
   void clear();
 
  private:

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/affinity.h"
 #include "common/logging.h"
 #include "net/wire.h"
 
@@ -668,6 +669,9 @@ bool TcpHost::flush_iovecs(PeerQueue& q, const std::vector<::iovec>& iov) {
 // ---------------------------------------------------------------------------
 
 void TcpHost::node_loop() {
+  // The node thread is the serialized context for the hosted node: handlers,
+  // timer callbacks, and offload completions all execute here.
+  affinity::ScopedNodeBind bind(ctx_.get());
   node_->start(*ctx_);
   std::unique_lock lock(mu_);
   while (true) {

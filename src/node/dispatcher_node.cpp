@@ -41,6 +41,7 @@ void DispatcherNode::start(NodeContext& ctx) {
 }
 
 void DispatcherNode::on_receive(NodeId from, Envelope env) {
+  BD_ASSERT_NODE_THREAD(ctx_);
   std::visit(
       [&](auto&& msg) {
         using T = std::decay_t<decltype(msg)>;

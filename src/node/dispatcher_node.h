@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/types.h"
 #include "core/forwarding_policy.h"
 #include "core/partition_strategy.h"
@@ -114,12 +115,12 @@ class DispatcherNode final : public Node {
     std::vector<NodeId> tried;
   };
 
-  void handle_subscribe(const ClientSubscribe& msg);
-  void handle_unsubscribe(const ClientUnsubscribe& msg);
-  void handle_publish(ClientPublish msg);
-  void handle_load_report(NodeId from, const LoadReport& msg);
-  void handle_table_resp(const TablePullResp& msg);
-  void handle_join(NodeId from);
+  BD_NODE_THREAD void handle_subscribe(const ClientSubscribe& msg);
+  BD_NODE_THREAD void handle_unsubscribe(const ClientUnsubscribe& msg);
+  BD_NODE_THREAD void handle_publish(ClientPublish msg);
+  BD_NODE_THREAD void handle_load_report(NodeId from, const LoadReport& msg);
+  BD_NODE_THREAD void handle_table_resp(const TablePullResp& msg);
+  BD_NODE_THREAD void handle_join(NodeId from);
 
   /// Forwards a message to the best candidate; returns the choice made
   /// (kInvalidNode matcher when no candidate exists). A non-zero `trace_id`

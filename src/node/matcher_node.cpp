@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "index/linear_scan_index.h"
 #include "index/subscription_store.h"
+#include "obs/audit.h"
 #include "obs/export.h"
 
 namespace bluedove {
@@ -73,6 +74,7 @@ void MatcherNode::start(NodeContext& ctx) {
 }
 
 void MatcherNode::on_receive(NodeId from, Envelope env) {
+  BD_ASSERT_NODE_THREAD(ctx_);
   if (gossiper_.handle(from, env)) return;
   std::visit(
       [&](auto&& msg) {
@@ -486,6 +488,7 @@ void MatcherNode::handle_split(NodeId /*from*/, const SplitCommand& msg) {
   const Value mid = split_boundary(msg.dim, seg);
   const Range lower{seg.lo, mid};
   const Range upper{mid, seg.hi};
+  obs::audit_split("matcher.split", seg, lower, upper);
 
   // Subscriptions whose predicate on this dimension reaches into the upper
   // half move (or are copied, when they straddle the midpoint).
@@ -587,8 +590,11 @@ void MatcherNode::handle_handover_merge(const HandoverMerge& msg) {
   if (msg.dim >= dims()) return;
   for (const Subscription& sub : msg.subs) store_one(sub, msg.dim);
   gossiper_.update_self([&](MatcherState& state) {
-    if (msg.dim < state.segments.size())
+    if (msg.dim < state.segments.size()) {
+      obs::audit_merge("matcher.merge", state.segments[msg.dim],
+                       msg.merged_segment);
       state.segments[msg.dim] = msg.merged_segment;
+    }
   });
 }
 

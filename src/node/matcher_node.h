@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/types.h"
 #include "core/partition_strategy.h"
 #include "gossip/gossiper.h"
@@ -144,21 +145,21 @@ class MatcherNode final : public Node {
   /// Split boundary for handle_split, per the configured SplitPolicy.
   Value split_boundary(DimId dim, const Range& segment) const;
 
-  void handle_store(const StoreSubscription& msg);
-  void handle_remove(const RemoveSubscription& msg);
-  void handle_match_request(MatchRequest msg);
-  void handle_match_batch(MatchRequestBatch batch);
+  BD_NODE_THREAD void handle_store(const StoreSubscription& msg);
+  BD_NODE_THREAD void handle_remove(const RemoveSubscription& msg);
+  BD_NODE_THREAD void handle_match_request(MatchRequest msg);
+  BD_NODE_THREAD void handle_match_batch(MatchRequestBatch batch);
   /// Common admission path: counts, stamps and queues one request on its
   /// dimension queue. Does NOT pump — callers pump once per envelope so a
   /// whole batch lands in the queues before cores start draining.
-  void enqueue_match_request(MatchRequest msg);
-  void handle_split(NodeId from, const SplitCommand& msg);
-  void handle_handover_segment(const HandoverSegment& msg);
-  void handle_leave();
-  void handle_handover_merge(const HandoverMerge& msg);
-  void handle_table_pull(NodeId from);
-  void handle_table_resp(const TablePullResp& msg);
-  void handle_stats(NodeId from);
+  BD_NODE_THREAD void enqueue_match_request(MatchRequest msg);
+  BD_NODE_THREAD void handle_split(NodeId from, const SplitCommand& msg);
+  BD_NODE_THREAD void handle_handover_segment(const HandoverSegment& msg);
+  BD_NODE_THREAD void handle_leave();
+  BD_NODE_THREAD void handle_handover_merge(const HandoverMerge& msg);
+  BD_NODE_THREAD void handle_table_pull(NodeId from);
+  BD_NODE_THREAD void handle_table_resp(const TablePullResp& msg);
+  BD_NODE_THREAD void handle_stats(NodeId from);
 
   /// Starts servicing queued requests while cores are free.
   void pump();

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "common/affinity.h"
+
 namespace bluedove::runtime {
 
 namespace {
@@ -75,6 +77,8 @@ std::optional<MatchExecutor::Job> MatchExecutor::take(std::size_t lane) {
 }
 
 void MatchExecutor::worker_loop(int index) {
+  affinity::ScopedWorkerBind bind;
+  BD_ASSERT_WORKER_THREAD();
   Rng rng(config_.seed + static_cast<std::uint64_t>(index));
   OffloadWorker self{index, &rng};
   const std::size_t home =

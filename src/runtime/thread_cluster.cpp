@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <string>
 
+#include "common/affinity.h"
 #include "common/logging.h"
+#include "obs/audit.h"
 #include "runtime/match_executor.h"
 
 namespace bluedove::runtime {
@@ -46,7 +48,7 @@ struct ThreadCluster::NodeRuntime {
   /// snapshot under runtime.node<id>.
   obs::MetricsRegistry exec_metrics;
 
-  std::mutex mu;
+  mutable std::mutex mu;
   std::condition_variable cv;
   /// Messages and deferred completions, FIFO.
   std::deque<std::function<void()>> tasks;
@@ -93,6 +95,12 @@ ThreadCluster::NodeRuntime* ThreadCluster::runtime(NodeId id) {
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
+const ThreadCluster::NodeRuntime* ThreadCluster::runtime(NodeId id) const {
+  std::lock_guard lock(nodes_mu_);
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
 void ThreadCluster::start(NodeId id) {
   NodeRuntime* rt = runtime(id);
   if (rt == nullptr || rt->started) return;
@@ -123,6 +131,15 @@ void ThreadCluster::stop(NodeId id) {
   // can arrive, running jobs finish, and their completions are dropped by
   // post_completion's stopping check.
   if (rt->executor != nullptr) rt->executor->stop();
+  // The inbox is quiescent now (producers bail on `stopping` before touching
+  // the counters), so its accounting must close exactly.
+  const QueueStats& s = rt->inbox_stats;
+  obs::audit_queue_accounting(
+      ("node" + std::to_string(id) + ".inbox").c_str(),
+      s.depth.load(std::memory_order_relaxed),
+      s.high_water.load(std::memory_order_relaxed),
+      s.enqueued.load(std::memory_order_relaxed),
+      s.dequeued.load(std::memory_order_relaxed));
 }
 
 void ThreadCluster::shutdown() {
@@ -135,8 +152,7 @@ void ThreadCluster::shutdown() {
 }
 
 bool ThreadCluster::running(NodeId id) const {
-  auto* self = const_cast<ThreadCluster*>(this);
-  NodeRuntime* rt = self->runtime(id);
+  const NodeRuntime* rt = runtime(id);
   if (rt == nullptr || !rt->started) return false;
   std::lock_guard lock(rt->mu);
   return !rt->stopping;
@@ -173,6 +189,10 @@ void ThreadCluster::inject(NodeId to, Envelope env) {
 }
 
 void ThreadCluster::node_loop(NodeRuntime& rt) {
+  // This thread IS the node's serialized execution context for its whole
+  // lifetime: start, message handlers, timer callbacks, offload
+  // completions. One binding covers them all.
+  affinity::ScopedNodeBind bind(rt.ctx.get());
   rt.node->start(*rt.ctx);
   std::unique_lock lock(rt.mu);
   while (true) {
@@ -297,8 +317,7 @@ void ThreadCluster::Context::offload(std::size_t lane, OffloadWork work,
 }
 
 const QueueStats* ThreadCluster::inbox_stats(NodeId id) const {
-  auto* self = const_cast<ThreadCluster*>(this);
-  NodeRuntime* rt = self->runtime(id);
+  const NodeRuntime* rt = runtime(id);
   return rt != nullptr ? &rt->inbox_stats : nullptr;
 }
 

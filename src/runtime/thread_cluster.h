@@ -84,6 +84,7 @@ class ThreadCluster {
   class Context;
 
   NodeRuntime* runtime(NodeId id);
+  const NodeRuntime* runtime(NodeId id) const;
   void enqueue(NodeId to, NodeId from, Envelope env);
   void node_loop(NodeRuntime& rt);
   /// Creates the node's MatchExecutor pool (idempotent). Called by the

@@ -1,5 +1,6 @@
 #include "sim/sim_cluster.h"
 
+#include "common/affinity.h"
 #include "common/logging.h"
 
 namespace bluedove::sim {
@@ -53,6 +54,7 @@ void SimCluster::start(NodeId id) {
   Record* rec = record(id);
   if (rec == nullptr || rec->started) return;
   rec->started = true;
+  affinity::ScopedNodeBind bind(rec->ctx.get());
   rec->node->start(*rec->ctx);
 }
 
@@ -60,6 +62,7 @@ void SimCluster::start_all() {
   for (auto& [id, rec] : records_) {
     if (!rec->started) {
       rec->started = true;
+      affinity::ScopedNodeBind bind(rec->ctx.get());
       rec->node->start(*rec->ctx);
     }
   }
@@ -79,6 +82,11 @@ bool SimCluster::alive(NodeId id) const {
 
 Node* SimCluster::node(NodeId id) {
   Record* rec = record(id);
+  return rec != nullptr ? rec->node.get() : nullptr;
+}
+
+const Node* SimCluster::node(NodeId id) const {
+  const Record* rec = record(id);
   return rec != nullptr ? rec->node.get() : nullptr;
 }
 
@@ -113,7 +121,21 @@ bool SimCluster::accounted(const Envelope& env) {
 void SimCluster::deliver(NodeId from, NodeId to, Envelope env,
                          std::uint64_t epoch) {
   Record* rec = record(to);
-  if (rec == nullptr || !rec->alive || rec->epoch != epoch || !rec->started) {
+  const bool dead =
+      rec == nullptr || !rec->alive || rec->epoch != epoch || !rec->started;
+  if (config_.digest) {
+    // The digest covers the full causal stream: (virtual time, endpoints,
+    // payload kind, serialized size, delivered-or-dropped). Any divergence
+    // between two same-seed runs — an extra message, a reorder, a changed
+    // payload, a shifted timestamp — lands here.
+    digest_.mix_double(loop_.now());
+    digest_.mix(from);
+    digest_.mix(to);
+    digest_.mix(env.payload.index());
+    digest_.mix(wire_size(env));
+    digest_.mix(dead ? 1 : 0);
+  }
+  if (dead) {
     ++dropped_messages_;
     if (std::holds_alternative<MatchRequest>(env.payload))
       ++lost_match_requests_;
@@ -125,6 +147,7 @@ void SimCluster::deliver(NodeId from, NodeId to, Envelope env,
   if (config_.account_all_traffic || accounted(env)) {
     rec->traffic.bytes_received += wire_size(env);
   }
+  affinity::ScopedNodeBind bind(rec->ctx.get());
   rec->node->on_receive(from, std::move(env));
 }
 
@@ -207,7 +230,10 @@ TimerId SimCluster::Context::set_timer(Timestamp delay,
   return cluster_->loop_.schedule_after(
       delay, [cluster = cluster_, id = id_, epoch, fn = std::move(fn)] {
         Record* r = cluster->record(id);
-        if (r != nullptr && r->alive && r->epoch == epoch) fn();
+        if (r != nullptr && r->alive && r->epoch == epoch) {
+          affinity::ScopedNodeBind bind(r->ctx.get());
+          fn();
+        }
       });
 }
 
@@ -225,7 +251,10 @@ void SimCluster::Context::charge(double work_units,
   cluster_->loop_.schedule_after(
       t, [cluster = cluster_, id = id_, epoch, done = std::move(done)] {
         Record* r = cluster->record(id);
-        if (r != nullptr && r->alive && r->epoch == epoch) done();
+        if (r != nullptr && r->alive && r->epoch == epoch) {
+          affinity::ScopedNodeBind bind(r->ctx.get());
+          done();
+        }
       });
 }
 

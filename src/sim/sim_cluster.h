@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "net/transport.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "sim/event_loop.h"
 
@@ -35,6 +36,12 @@ struct SimConfig {
   /// control plane (gossip, load reports, table pulls) is accounted, which
   /// is what the paper's overhead analysis reports.
   bool account_all_traffic = false;
+  /// When true, every delivery (and every dead-target drop) is folded into
+  /// the determinism digest — virtual time, endpoints, payload kind, wire
+  /// size — so two same-seed runs can be compared byte-for-byte
+  /// (tools/determinism_check.sh). Off by default: hashing serializes each
+  /// envelope to size it, which the hot path should not pay unasked.
+  bool digest = false;
 };
 
 struct TrafficStats {
@@ -69,9 +76,14 @@ class SimCluster {
   bool exists(NodeId id) const { return records_.count(id) != 0; }
 
   Node* node(NodeId id);
+  const Node* node(NodeId id) const;
   template <typename T>
   T* node_as(NodeId id) {
     return static_cast<T*>(node(id));
+  }
+  template <typename T>
+  const T* node_as(NodeId id) const {
+    return static_cast<const T*>(node(id));
   }
 
   EventLoop& loop() { return loop_; }
@@ -93,6 +105,12 @@ class SimCluster {
   std::uint64_t lost_match_requests() const { return lost_match_requests_; }
   /// All messages dropped due to dead targets, any type.
   std::uint64_t dropped_messages() const { return dropped_messages_; }
+
+  /// Determinism digest over the delivered event stream; stable across
+  /// same-seed runs, 0 until SimConfig::digest enables hashing.
+  std::uint64_t digest() const {
+    return config_.digest ? digest_.value() : 0;
+  }
 
   /// Substrate-level metrics: per-node traffic counters and busy-time
   /// gauges plus cluster-wide drop totals, in the obs naming scheme so they
@@ -118,6 +136,7 @@ class SimCluster {
   std::map<NodeId, std::unique_ptr<Record>> records_;
   std::uint64_t lost_match_requests_ = 0;
   std::uint64_t dropped_messages_ = 0;
+  obs::DeterminismDigest digest_;
 };
 
 }  // namespace bluedove::sim

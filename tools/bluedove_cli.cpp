@@ -20,7 +20,9 @@
 // Pipeline tracing (run): --trace-sample=R samples a fraction R of the
 // publications and prints the per-stage latency breakdown (dispatch /
 // queue / match / deliver) at the end; --stats-json=PATH additionally
-// writes the merged cluster metrics snapshot as JSON.
+// writes the merged cluster metrics snapshot as JSON. --digest hashes the
+// sim's delivered event stream and prints determinism_digest=0x... at the
+// end (tools/determinism_check.sh compares two same-seed runs).
 //
 // stats options:
 //   --peer=host:port   the noded to scrape (required)
@@ -152,6 +154,7 @@ int cmd_run(const CliArgs& args) {
   ExperimentConfig cfg = config_from(args);
   cfg.trace_sample_rate = args.get_double("trace-sample", 0.0);
   if (cfg.trace_sample_rate > 0.0) cfg.full_matching = true;
+  cfg.sim.digest = args.get_bool("digest", false);
   const double rate = args.get_double("rate", 10000.0);
   const double duration = args.get_double("duration", 60.0);
   Deployment dep(cfg);
@@ -182,6 +185,10 @@ int cmd_run(const CliArgs& args) {
     } else {
       std::fprintf(stderr, "failed to write %s\n", stats_path.c_str());
     }
+  }
+  if (cfg.sim.digest) {
+    std::printf("determinism_digest=0x%016llx\n",
+                (unsigned long long)dep.digest());
   }
   return 0;
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Umbrella gate: everything a change should pass before review, in rough
+# order of cost. Each sub-check exits nonzero on failure and this script
+# stops at the first one (see README "Verifying a change").
+#
+#   1. default build + full ctest suite
+#   2. in-tree lint (tools/lint_check.sh)
+#   3. determinism digest double-run (tools/determinism_check.sh)
+#   4. audit-enabled test label (invariant auditor, affinity checker)
+#   5. ASan+UBSan suite (tools/sanitize_check.sh)
+#   6. TSan concurrency suites (tools/tsan_check.sh)
+#
+# Usage: tools/check_all.sh [--fast]
+#   --fast stops after step 4 (skips the sanitizer rebuilds).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== build + ctest =="
+cmake -B "${repo_root}/build" -S "${repo_root}"
+cmake --build "${repo_root}/build" -j "${jobs}"
+ctest --test-dir "${repo_root}/build" --output-on-failure -j "${jobs}"
+
+echo "== lint =="
+"${repo_root}/tools/lint_check.sh" "${repo_root}/build"
+
+echo "== determinism =="
+"${repo_root}/tools/determinism_check.sh" "${repo_root}/build"
+
+echo "== audit label =="
+ctest --test-dir "${repo_root}/build" --output-on-failure -L audit
+
+if [[ "${fast}" == "1" ]]; then
+  echo "check_all: OK (--fast: sanitizers skipped)"
+  exit 0
+fi
+
+echo "== asan+ubsan =="
+"${repo_root}/tools/sanitize_check.sh"
+
+echo "== tsan =="
+"${repo_root}/tools/tsan_check.sh"
+
+echo "check_all: OK"

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Determinism gate: runs the same seeded simulation twice with event-stream
+# hashing enabled (SimConfig::digest) and fails unless both runs produce the
+# identical 64-bit digest. The digest folds in every delivery's virtual
+# time, endpoints, payload kind and wire size (src/obs/audit.h), so any
+# nondeterminism anywhere in the sim path — iteration order, a stray wall
+# clock, an unseeded RNG — shows up as a digest mismatch.
+#
+# Usage: tools/determinism_check.sh [build-dir]   (default: build)
+# Tunables via env: BD_DET_RATE, BD_DET_DURATION, BD_DET_SEED, BD_DET_ARGS.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+cli="${build_dir}/tools/bluedove_cli"
+
+rate="${BD_DET_RATE:-4000}"
+duration="${BD_DET_DURATION:-15}"
+seed="${BD_DET_SEED:-2011}"
+extra_args=(${BD_DET_ARGS:-})
+
+if [[ ! -x "${cli}" ]]; then
+  echo "determinism_check: ${cli} not built; run cmake --build ${build_dir}" >&2
+  exit 2
+fi
+
+run_digest() {
+  "${cli}" run --digest --rate="${rate}" --duration="${duration}" \
+    --seed="${seed}" --matchers=8 --subs=2000 "${extra_args[@]}" |
+    sed -n 's/^determinism_digest=//p'
+}
+
+d1="$(run_digest)"
+d2="$(run_digest)"
+
+if [[ -z "${d1}" || -z "${d2}" ]]; then
+  echo "determinism_check: no digest in CLI output" >&2
+  exit 1
+fi
+if [[ "${d1}" != "${d2}" ]]; then
+  echo "determinism_check: FAIL — same-seed runs diverged" >&2
+  echo "  run 1: ${d1}" >&2
+  echo "  run 2: ${d2}" >&2
+  exit 1
+fi
+echo "determinism_check: OK (digest ${d1}, seed ${seed})"

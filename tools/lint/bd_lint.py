@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""bd_lint: in-tree structural lint for the BlueDove sources.
+
+Rules (names usable in waivers):
+
+  thread          `std::thread` may only be constructed inside the two
+                  substrates that own real threads (src/runtime, src/net).
+                  Node logic, indexes and the simulator must stay
+                  substrate-agnostic; a stray thread there breaks both the
+                  deterministic simulator and the node-thread contract
+                  (DESIGN.md section 10). `std::this_thread` is fine.
+
+  wall-clock      Wall-clock reads (steady_clock/system_clock ::now(),
+                  time(), clock(), gettimeofday, rand()) are banned in the
+                  simulation-reachable layers (src/sim, src/core, src/node,
+                  src/index, src/gossip, src/harness, src/attr, src/workload,
+                  src/metrics, src/baseline). Virtual time comes from
+                  NodeContext::now() and randomness from NodeContext::rng();
+                  anything else silently breaks same-seed determinism
+                  (tools/determinism_check.sh would catch it much later).
+
+  mutable-static  Non-const static data at namespace or function scope must
+                  be std::atomic, thread_local or const: plain mutable
+                  statics are shared across node threads and race.
+
+  affinity        Every `handle_*` method declaration in a header must carry
+                  a thread-affinity annotation (BD_NODE_THREAD /
+                  BD_WORKER_THREAD / BD_ANY_THREAD from common/affinity.h),
+                  so the threading contract is written where the handler is
+                  declared and the runtime checker has a documented anchor.
+
+Waivers: append `// bd-lint: allow(<rule>)` to the offending line, or put
+the comment alone on the line directly above it. Waive sparingly and say
+why next to the waiver.
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+# Directories scanned (relative to the repo root).
+SCAN_DIRS = ["src", "tools", "bench", "examples", "tests"]
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+# Rule scopes, relative to the repo root (prefix match on posix paths).
+THREAD_ALLOWED = ("src/runtime/", "src/net/", "tools/", "bench/", "tests/",
+                  "examples/")
+SIM_PATH_PREFIXES = (
+    "src/sim/", "src/core/", "src/node/", "src/index/", "src/gossip/",
+    "src/harness/", "src/attr/", "src/workload/", "src/metrics/",
+    "src/baseline/",
+)
+
+WAIVER_RE = re.compile(r"//\s*bd-lint:\s*allow\(([a-z-]+)\)")
+THREAD_RE = re.compile(r"\bstd::thread\b")
+THIS_THREAD_RE = re.compile(r"\bstd::this_thread\b")
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:std::chrono::)?(?:steady_clock|system_clock|high_resolution_clock)"
+    r"::now\s*\("
+    r"|\b(?:std::)?(?:time|clock|rand|srand)\s*\(\s*"
+    r"|\bgettimeofday\s*\(")
+STATIC_RE = re.compile(r"^\s*(?:inline\s+)?static\s+(?!assert\b)")
+STATIC_OK_RE = re.compile(
+    r"\b(?:const\b|constexpr\b|thread_local\b|std::atomic)")
+HANDLE_DECL_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][A-Za-z0-9_:<>,\s*&]*\s)?handle_[a-z0-9_]*\s*\(")
+AFFINITY_RE = re.compile(r"\bBD_(?:NODE|WORKER|ANY)_THREAD\b")
+
+
+def waived(rule, line, prev_line):
+    for text in (line, prev_line):
+        m = WAIVER_RE.search(text)
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def lint_file(rel, lines, report):
+    path = rel.as_posix()
+    in_sim_path = path.startswith(SIM_PATH_PREFIXES)
+    thread_banned = path.startswith("src/") and not path.startswith(
+        THREAD_ALLOWED)
+    is_header = rel.suffix in {".h", ".hpp"}
+
+    prev = ""
+    for num, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        code = line.split("//", 1)[0]
+
+        if thread_banned and THREAD_RE.search(code):
+            if not waived("thread", line, prev):
+                report(path, num, "thread",
+                       "std::thread outside src/runtime / src/net; node "
+                       "logic must run on the substrate's threads")
+        if in_sim_path and WALL_CLOCK_RE.search(code):
+            if not waived("wall-clock", line, prev):
+                report(path, num, "wall-clock",
+                       "wall-clock/random call in a simulation path; use "
+                       "NodeContext::now() / NodeContext::rng()")
+        if path.startswith("src/") and STATIC_RE.search(code) \
+                and not STATIC_OK_RE.search(code) and "(" not in code:
+            if not waived("mutable-static", line, prev):
+                report(path, num, "mutable-static",
+                       "non-atomic mutable static; make it std::atomic, "
+                       "thread_local or const")
+        if is_header and HANDLE_DECL_RE.search(code) \
+                and not AFFINITY_RE.search(code):
+            if not waived("affinity", line, prev):
+                report(path, num, "affinity",
+                       "handle_* declaration without a BD_*_THREAD "
+                       "affinity annotation (common/affinity.h)")
+        prev = line
+
+
+def main(argv):
+    if len(argv) > 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    violations = []
+
+    def report(path, num, rule, msg):
+        violations.append(f"{path}:{num}: [{rule}] {msg}")
+
+    for top in SCAN_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        for f in sorted(root.rglob("*")):
+            if f.suffix not in SOURCE_SUFFIXES or not f.is_file():
+                continue
+            rel = f.relative_to(REPO)
+            lint_file(rel, f.read_text(errors="replace").splitlines(), report)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"bd_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("bd_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the in-tree structural lint (tools/lint/bd_lint.py: thread / clock
+# bans, mutable statics, affinity-annotation coverage) and, when clang-tidy
+# is installed, the .clang-tidy checks over the library sources against an
+# existing compile_commands.json. clang-tidy is optional — CI images without
+# it still get the full bd_lint gate.
+#
+# Usage: tools/lint_check.sh [build-dir]   (default build dir: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+python3 "${repo_root}/tools/lint/bd_lint.py"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+  clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
+else
+  echo "lint_check: clang-tidy not installed, skipping .clang-tidy checks"
+fi
+
+echo "lint_check: OK"

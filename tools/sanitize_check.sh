@@ -7,12 +7,34 @@
 # safety net for src/index, and the pooled serialization buffers in src/net
 # get the same coverage.
 #
-# Usage: tools/sanitize_check.sh [ctest-args...]
+# Usage: tools/sanitize_check.sh [--label LABEL] [ctest-args...]
+#   --label LABEL restricts the run to one ctest label (repeatable); any
+#   further arguments pass through to ctest unchanged. Exits nonzero when
+#   the build or any selected test fails.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-asan"
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+ctest_args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --label)
+      [[ $# -ge 2 ]] || { echo "--label needs an argument" >&2; exit 2; }
+      ctest_args+=(-L "$2")
+      shift 2
+      ;;
+    --label=*)
+      ctest_args+=(-L "${1#--label=}")
+      shift
+      ;;
+    *)
+      ctest_args+=("$1")
+      shift
+      ;;
+  esac
+done
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -21,4 +43,5 @@ cmake --build "${build_dir}" -j "${jobs}"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "$@"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+  ${ctest_args[@]+"${ctest_args[@]}"}
