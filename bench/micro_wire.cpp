@@ -83,10 +83,20 @@ double now_sec() {
       .count();
 }
 
+struct ThroughputResult {
+  double tput = 0.0;
+  /// Receiver-side zero-copy accounting (wire.payload_copies /
+  /// wire.payload_bytes_copied): 0 means every payload stayed a view into
+  /// its frame buffer on the steady-state hot path.
+  std::uint64_t payload_copies = 0;
+  std::uint64_t payload_bytes_copied = 0;
+};
+
 /// Blasts `n` publications sender -> receiver and returns msgs/sec counted
 /// at the receiver. The send queue is sized to hold the whole blast so the
 /// measurement is of the wire, not of backpressure drops.
-double run_throughput(int batch, std::size_t payload_bytes, std::uint64_t n) {
+ThroughputResult run_throughput(int batch, std::size_t payload_bytes,
+                                std::uint64_t n) {
   auto recv_node = std::make_unique<BenchNode>(/*echo=*/false);
   BenchNode* recv = recv_node.get();
   net::TcpHost receiver(1, 0, std::move(recv_node));
@@ -120,7 +130,18 @@ double run_throughput(int batch, std::size_t payload_bytes, std::uint64_t n) {
     std::fprintf(stderr, "micro_wire: only %llu/%llu delivered (batch=%d)\n",
                  (unsigned long long)got, (unsigned long long)n, batch);
   }
-  return static_cast<double>(got) / elapsed;
+  ThroughputResult res;
+  res.tput = static_cast<double>(got) / elapsed;
+  const obs::MetricsSnapshot ws = receiver.wire_metrics().snapshot();
+  if (const auto it = ws.counters.find("wire.payload_copies");
+      it != ws.counters.end()) {
+    res.payload_copies = it->second;
+  }
+  if (const auto it = ws.counters.find("wire.payload_bytes_copied");
+      it != ws.counters.end()) {
+    res.payload_bytes_copied = it->second;
+  }
+  return res;
 }
 
 /// Ping-pong RTTs through an idle wire: one in-flight message at a time,
@@ -171,6 +192,7 @@ int main() {
 
   obs::MetricsSnapshot snap;
   double base_tput[2] = {0.0, 0.0};
+  std::uint64_t total_payload_copies = 0;
 
   std::printf("\nthroughput (msgs/sec at the receiver):\n");
   std::printf("%12s %14s %14s %10s\n", "wire_batch", "payload=64B",
@@ -179,10 +201,15 @@ int main() {
     double tput[2];
     for (int p = 0; p < 2; ++p) {
       const std::uint64_t n = payloads[p] <= 64 ? 150000 : 40000;
-      tput[p] = run_throughput(batch, payloads[p], n);
-      const std::string key = "wire.tput_batch" + std::to_string(batch) +
-                              "_pay" + std::to_string(payloads[p]);
-      snap.gauges[key] = tput[p];
+      const ThroughputResult res = run_throughput(batch, payloads[p], n);
+      tput[p] = res.tput;
+      const std::string suffix = "batch" + std::to_string(batch) + "_pay" +
+                                 std::to_string(payloads[p]);
+      snap.gauges["wire.tput_" + suffix] = tput[p];
+      snap.counters["wire.payload_copies_" + suffix] = res.payload_copies;
+      snap.counters["wire.payload_bytes_copied_" + suffix] =
+          res.payload_bytes_copied;
+      total_payload_copies += res.payload_copies;
       if (batch == 1) base_tput[p] = tput[p];
     }
     const double speedup = base_tput[0] > 0.0 ? tput[0] / base_tput[0] : 0.0;
@@ -210,6 +237,10 @@ int main() {
   std::printf("\nspeedup batch=32 vs batch=1: %.2fx (64B), %.2fx (1KB)\n",
               snap.gauges["wire.speedup_pay64"],
               snap.gauges["wire.speedup_pay1024"]);
+  std::printf("receiver wire.payload_copies across all throughput runs: %llu "
+              "(zero-copy receive path%s)\n",
+              (unsigned long long)total_payload_copies,
+              total_payload_copies == 0 ? "" : " VIOLATED");
   benchutil::write_bench_json("wire", snap);
   return 0;
 }

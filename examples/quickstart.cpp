@@ -25,9 +25,11 @@ int main() {
   const SubscriptionId sub = service.subscribe(
       {Range{100, 300}, Range{0, 1000}, Range{500, 600}, Range{0, 1000}},
       [](const Delivery& d) {
-        std::printf("  matched message %llu: (%.0f, %.0f, %.0f, %.0f) \"%s\"\n",
+        std::printf("  matched message %llu: (%.0f, %.0f, %.0f, %.0f) "
+                    "\"%.*s\"\n",
                     (unsigned long long)d.msg_id, d.values[0], d.values[1],
-                    d.values[2], d.values[3], d.payload.c_str());
+                    d.values[2], d.values[3], (int)d.payload.size(),
+                    d.payload.data());
       });
   std::printf("registered subscription %llu\n", (unsigned long long)sub);
   service.settle();  // let the subscription propagate to the matchers

@@ -1,9 +1,9 @@
 #pragma once
 // A published message: a point in the attribute space plus an opaque payload.
 
-#include <string>
 #include <vector>
 
+#include "attr/payload.h"
 #include "attr/value.h"
 #include "common/serde.h"
 #include "common/types.h"
@@ -13,7 +13,9 @@ namespace bluedove {
 struct Message {
   MessageId id = 0;
   std::vector<Value> values;  ///< one coordinate per schema dimension
-  std::string payload;        ///< application data, not used for matching
+  /// Application data, not used for matching. Shared by refcount: copying
+  /// a Message (dispatcher buffering, fan-out) never copies the bytes.
+  PayloadRef payload;
 
   Value value(DimId dim) const { return values[dim]; }
   std::size_t dimensions() const { return values.size(); }

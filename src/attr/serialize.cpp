@@ -7,7 +7,7 @@ void write_message(serde::Writer& w, const Message& m) {
   w.u64(m.id);
   w.varint(m.values.size());
   for (Value v : m.values) w.f64(v);
-  w.str(m.payload);
+  write_payload_ref(w, m.payload);
 }
 
 Message read_message(serde::Reader& r) {
@@ -16,7 +16,7 @@ Message read_message(serde::Reader& r) {
   const auto n = r.varint();
   m.values.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n && r.ok(); ++i) m.values.push_back(r.f64());
-  m.payload = r.str();
+  m.payload = read_payload_ref(r);
   return m;
 }
 

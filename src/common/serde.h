@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,6 +69,14 @@ class Writer {
     raw(s.data(), s.size());
   }
 
+  /// Length-prefixed byte blob straight from caller memory; the encoding
+  /// is identical to str(), so the two are interchangeable on the wire.
+  /// This is how shared payloads serialize without an intermediate string.
+  void blob(const char* p, std::size_t n) {
+    varint(n);
+    if (n != 0) raw(p, n);
+  }
+
   template <typename T, typename Fn>
   void seq(const std::vector<T>& items, Fn&& write_one) {
     varint(items.size());
@@ -94,6 +103,36 @@ class Reader {
 
   bool ok() const { return ok_; }
   bool at_end() const { return pos_ == size_; }
+
+  /// When an owner is attached, view-typed reads (read_payload_ref) alias
+  /// the underlying buffer and share this refcount instead of copying; the
+  /// transport attaches the frame buffer it parsed from.
+  void set_owner(std::shared_ptr<const void> owner) {
+    owner_ = std::move(owner);
+  }
+  const std::shared_ptr<const void>& owner() const { return owner_; }
+
+  /// Returns `n` bytes at the cursor without copying and advances past
+  /// them; nullptr (stream marked bad) on underrun.
+  const std::uint8_t* view(std::size_t n) {
+    if (n > size_ - pos_) {
+      ok_ = false;
+      return nullptr;
+    }
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  /// Payload-copy accounting: reads that fell back to copying (no owner
+  /// attached) report here; the transport exports the per-frame totals as
+  /// wire.payload_copies / wire.payload_bytes_copied.
+  void note_copy(std::size_t bytes) {
+    ++copies_;
+    copy_bytes_ += bytes;
+  }
+  std::uint64_t copies() const { return copies_; }
+  std::uint64_t copy_bytes() const { return copy_bytes_; }
 
   std::uint8_t u8() {
     std::uint8_t v = 0;
@@ -179,6 +218,9 @@ class Reader {
   std::size_t size_;
   std::size_t pos_ = 0;
   bool ok_ = true;
+  std::shared_ptr<const void> owner_;
+  std::uint64_t copies_ = 0;
+  std::uint64_t copy_bytes_ = 0;
 };
 
 }  // namespace bluedove::serde

@@ -1,8 +1,18 @@
 #include "index/flat_bucket_index.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/audit.h"
+#include "simd/range_kernel.h"
 
 namespace bluedove {
+
+namespace {
+/// Smallest lockstep reservation for a bucket's slot array and columns;
+/// also the floor below which compact_storage never bothers shrinking.
+constexpr std::size_t kMinBucketCapacity = 16;
+}  // namespace
 
 FlatBucketIndex::FlatBucketIndex(DimId pivot, Range domain,
                                  std::shared_ptr<SubscriptionStore> store,
@@ -42,6 +52,18 @@ void FlatBucketIndex::bucket_insert(Bucket& b, Slot slot,
     b.lo.resize(columns_);
     b.hi.resize(columns_);
   }
+  if (b.slots.size() == b.slots.capacity()) {
+    // Grow the slot array and all 2k columns in lockstep under one policy:
+    // one reallocation event per doubling instead of 2k+1 vectors doubling
+    // independently as the churn stream interleaves inserts and erases.
+    const std::size_t cap =
+        std::max(kMinBucketCapacity, b.slots.capacity() * 2);
+    b.slots.reserve(cap);
+    for (std::size_t d = 0; d < columns_; ++d) {
+      b.lo[d].reserve(cap);
+      b.hi[d].reserve(cap);
+    }
+  }
   b.slots.push_back(slot);
   for (std::size_t d = 0; d < columns_; ++d) {
     b.lo[d].push_back(sub.ranges[d].lo);
@@ -52,6 +74,9 @@ void FlatBucketIndex::bucket_insert(Bucket& b, Slot slot,
 void FlatBucketIndex::bucket_erase(Bucket& b, Slot slot) {
   for (std::size_t i = 0; i < b.slots.size(); ++i) {
     if (b.slots[i] != slot) continue;
+    // Swap-remove. pop_back never releases vector capacity, and insert
+    // reserves in lockstep, so steady-state churn cannot thrash the column
+    // allocations; capacity is released only by compact_storage().
     const std::size_t last = b.slots.size() - 1;
     b.slots[i] = b.slots[last];
     b.slots.pop_back();
@@ -105,7 +130,37 @@ bool FlatBucketIndex::erase(SubscriptionId id) {
 void FlatBucketIndex::clear() {
   for (const auto& [id, slot] : local_) store_->release(id);
   local_.clear();
-  for (Bucket& b : buckets_) b = Bucket{};
+  // Keep column capacity: clear() precedes a rebuild of (usually) the same
+  // scale, and dropping every allocation here just to re-grow it is the
+  // churn thrash compact_storage() exists to control.
+  for (Bucket& b : buckets_) {
+    b.slots.clear();
+    b.irregular.clear();
+    for (auto& c : b.lo) c.clear();
+    for (auto& c : b.hi) c.clear();
+  }
+}
+
+void FlatBucketIndex::compact_storage() {
+  for (Bucket& b : buckets_) {
+    const std::size_t used = b.slots.size();
+    if (b.slots.capacity() <= std::max(kMinBucketCapacity, 4 * used)) {
+      continue;  // not oversized enough to be worth a reallocation
+    }
+    b.slots.shrink_to_fit();
+    for (auto& c : b.lo) c.shrink_to_fit();
+    for (auto& c : b.hi) c.shrink_to_fit();
+  }
+}
+
+std::size_t FlatBucketIndex::column_capacity_bytes() const {
+  std::size_t bytes = 0;
+  for (const Bucket& b : buckets_) {
+    bytes += b.slots.capacity() * sizeof(Slot);
+    for (const auto& c : b.lo) bytes += c.capacity() * sizeof(Value);
+    for (const auto& c : b.hi) bytes += c.capacity() * sizeof(Value);
+  }
+  return bytes;
 }
 
 void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
@@ -117,30 +172,18 @@ void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
   wc.comparisons += n + b.irregular.size();
   if (n != 0 && m.dimensions() == columns_) {
     sel.resize(n);
-    std::size_t count = 0;
-    {
-      // First pass over one full column: branchless, contiguous, and the
-      // loop the compiler vectorizes.
-      const Value v = m.values[0];
-      const Value* lo = b.lo[0].data();
-      const Value* hi = b.hi[0].data();
-      for (std::size_t i = 0; i < n; ++i) {
-        sel[count] = static_cast<std::uint32_t>(i);
-        count += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
-      }
-    }
-    // Remaining dimensions compact the surviving selection in place.
+    const simd::RangeKernel& k = simd::active_kernel();
+    // First pass over one full contiguous column emits the selection
+    // vector; the remaining dimensions compact it in place. Both loops run
+    // through the dispatched kernel (AVX2 / NEON / scalar).
+    std::size_t count =
+        k.scan(b.lo[0].data(), b.hi[0].data(), n, m.values[0], sel.data());
     for (std::size_t d = 1; d < columns_ && count != 0; ++d) {
-      const Value v = m.values[d];
-      const Value* lo = b.lo[d].data();
-      const Value* hi = b.hi[d].data();
-      std::size_t kept = 0;
-      for (std::size_t j = 0; j < count; ++j) {
-        const std::uint32_t i = sel[j];
-        sel[kept] = i;
-        kept += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
-      }
-      count = kept;
+      count = k.compact(b.lo[d].data(), b.hi[d].data(), m.values[d],
+                        sel.data(), count);
+    }
+    if (k.kind != simd::KernelKind::kScalar && obs::Audit::enabled()) {
+      audit_probe(m, b, sel, count);
     }
     for (std::size_t j = 0; j < count; ++j) out.push_back(b.slots[sel[j]]);
   }
@@ -149,11 +192,40 @@ void FlatBucketIndex::probe(const Message& m, std::vector<Slot>& out,
   }
 }
 
+void FlatBucketIndex::audit_probe(const Message& m, const Bucket& b,
+                                  const std::vector<std::uint32_t>& sel,
+                                  std::size_t count) const {
+  // Sample: every 64th vectorized probe per thread replays the scalar
+  // oracle over the same bucket and compares the selections exactly.
+  thread_local std::uint64_t tick = 0;
+  if ((tick++ & 63u) != 0) return;
+  thread_local std::vector<std::uint32_t> oracle;
+  const std::size_t n = b.slots.size();
+  oracle.resize(n);
+  const simd::RangeKernel& s = simd::scalar_kernel();
+  std::size_t oc =
+      s.scan(b.lo[0].data(), b.hi[0].data(), n, m.values[0], oracle.data());
+  for (std::size_t d = 1; d < columns_ && oc != 0; ++d) {
+    oc = s.compact(b.lo[d].data(), b.hi[d].data(), m.values[d], oracle.data(),
+                   oc);
+  }
+  if (oc != count ||
+      !std::equal(sel.begin(), sel.begin() + static_cast<std::ptrdiff_t>(count),
+                  oracle.begin())) {
+    obs::Audit::report(
+        obs::AuditKind::kSimdKernel,
+        std::string("vector probe diverged from scalar oracle: kernel=") +
+            simd::active_kernel().name + " bucket_size=" + std::to_string(n) +
+            " vector_hits=" + std::to_string(count) +
+            " scalar_hits=" + std::to_string(oc));
+  }
+}
+
 void FlatBucketIndex::match_hits(const Message& m, std::vector<MatchHit>& out,
                                  WorkCounter& wc) const {
-  slots_scratch_.clear();
-  probe(m, slots_scratch_, sel_, wc);
-  for (const Slot slot : slots_scratch_) {
+  scratch_.slots.clear();
+  probe(m, scratch_.slots, scratch_.sel, wc);
+  for (const Slot slot : scratch_.slots) {
     const Subscription& sub = store_->at(slot);
     out.push_back({sub.id, sub.subscriber});
   }
@@ -165,32 +237,75 @@ void FlatBucketIndex::match_batch(std::span<const Message> msgs,
                                   WorkCounter& wc,
                                   std::vector<double>* per_msg_work,
                                   MatchScratch* scratch) const {
-  std::vector<Slot>& slots = scratch != nullptr ? scratch->slots : slots_scratch_;
-  std::vector<std::uint32_t>& sel = scratch != nullptr ? scratch->sel : sel_;
-  offsets.reserve(offsets.size() + msgs.size() + 1);
-  for (const Message& m : msgs) {
+  MatchScratch& s = scratch != nullptr ? *scratch : scratch_;
+  const std::size_t n = msgs.size();
+  offsets.reserve(offsets.size() + n + 1);
+  if (n <= 1) {
+    for (const Message& m : msgs) {
+      offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+      const WorkCounter before = wc;
+      s.slots.clear();
+      probe(m, s.slots, s.sel, wc);
+      for (const Slot slot : s.slots) {
+        const Subscription& sub = store_->at(slot);
+        hits.push_back({sub.id, sub.subscriber});
+      }
+      if (per_msg_work != nullptr) {
+        const WorkCounter delta{wc.comparisons - before.comparisons,
+                                wc.probes - before.probes};
+        per_msg_work->push_back(delta.total());
+      }
+    }
     offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+    return;
+  }
+  // Event-major execution: sort the batch by target bucket so consecutive
+  // probes hit the same lo/hi columns while they are cache-hot, then emit
+  // the staged per-message results in the original message order — the
+  // output (hits, offsets, per-message work) is byte-identical to the
+  // per-message loop above.
+  s.order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.order[i] =
+        (static_cast<std::uint64_t>(bucket_of(msgs[i].value(pivot_))) << 32) |
+        i;
+  }
+  std::sort(s.order.begin(), s.order.end());
+  s.staged.clear();
+  s.staged_off.resize(2 * n);
+  s.staged_work.resize(n);
+  for (const std::uint64_t packed : s.order) {
+    const auto idx = static_cast<std::size_t>(packed & 0xffffffffu);
     const WorkCounter before = wc;
-    slots.clear();
-    probe(m, slots, sel, wc);
-    for (const Slot slot : slots) {
+    s.slots.clear();
+    probe(msgs[idx], s.slots, s.sel, wc);
+    s.staged_off[2 * idx] = static_cast<std::uint32_t>(s.staged.size());
+    s.staged_off[2 * idx + 1] = static_cast<std::uint32_t>(s.slots.size());
+    for (const Slot slot : s.slots) {
       const Subscription& sub = store_->at(slot);
-      hits.push_back({sub.id, sub.subscriber});
+      s.staged.push_back({sub.id, sub.subscriber});
     }
-    if (per_msg_work != nullptr) {
-      const WorkCounter delta{wc.comparisons - before.comparisons,
-                              wc.probes - before.probes};
-      per_msg_work->push_back(delta.total());
-    }
+    const WorkCounter delta{wc.comparisons - before.comparisons,
+                            wc.probes - before.probes};
+    s.staged_work[idx] = delta.total();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets.push_back(static_cast<std::uint32_t>(hits.size()));
+    const std::size_t start = s.staged_off[2 * i];
+    const std::size_t cnt = s.staged_off[2 * i + 1];
+    hits.insert(hits.end(),
+                s.staged.begin() + static_cast<std::ptrdiff_t>(start),
+                s.staged.begin() + static_cast<std::ptrdiff_t>(start + cnt));
+    if (per_msg_work != nullptr) per_msg_work->push_back(s.staged_work[i]);
   }
   offsets.push_back(static_cast<std::uint32_t>(hits.size()));
 }
 
 void FlatBucketIndex::match(const Message& m, std::vector<SubPtr>& out,
                             WorkCounter& wc) const {
-  slots_scratch_.clear();
-  probe(m, slots_scratch_, sel_, wc);
-  for (const Slot slot : slots_scratch_) {
+  scratch_.slots.clear();
+  probe(m, scratch_.slots, scratch_.sel, wc);
+  for (const Slot slot : scratch_.slots) {
     out.push_back(std::make_shared<const Subscription>(store_->at(slot)));
   }
 }

@@ -19,6 +19,10 @@
 
 namespace bluedove {
 
+namespace simd {
+struct RangeKernel;
+}  // namespace simd
+
 class FlatBucketIndex final : public SubscriptionIndex {
  public:
   /// `domain` is the pivot dimension's value domain; `buckets` the number of
@@ -54,6 +58,15 @@ class FlatBucketIndex final : public SubscriptionIndex {
   std::size_t bucket_count() const { return buckets_.size(); }
   std::size_t bucket_size(std::size_t i) const;
 
+  /// Quiesce-time storage compaction: releases column capacity in buckets
+  /// that retain far more than they use. Steady-state churn never shrinks
+  /// (erase is swap-remove, insert reserves in lockstep), so capacity
+  /// cannot thrash; call this from maintenance points (handover, idle).
+  void compact_storage();
+  /// Bytes currently reserved by slot arrays + lo/hi columns across all
+  /// buckets (capacity, not size) — the churn regression test pins this.
+  std::size_t column_capacity_bytes() const;
+
  private:
   using Slot = SubscriptionStore::Slot;
 
@@ -78,6 +91,13 @@ class FlatBucketIndex final : public SubscriptionIndex {
   /// MatchScratch through so concurrent probes of snapshots never share.
   void probe(const Message& m, std::vector<Slot>& out,
              std::vector<std::uint32_t>& sel, WorkCounter& wc) const;
+  /// Sampled differential oracle: re-runs the scalar kernel over the same
+  /// bucket and reports an AuditKind::kSimdKernel violation when the
+  /// vectorized selection differs. Called only while a wide kernel is
+  /// active and the auditor is enabled.
+  void audit_probe(const Message& m, const Bucket& b,
+                   const std::vector<std::uint32_t>& sel,
+                   std::size_t count) const;
 
   DimId pivot_;
   Range domain_;
@@ -85,8 +105,9 @@ class FlatBucketIndex final : public SubscriptionIndex {
   std::vector<Bucket> buckets_;
   std::size_t columns_ = 0;  ///< dims of the SoA layout; fixed by first insert
   std::unordered_map<SubscriptionId, Slot> local_;  ///< ids this index holds
-  mutable std::vector<std::uint32_t> sel_;          ///< probe scratch
-  mutable std::vector<Slot> slots_scratch_;         ///< batch scratch
+  /// Fallback probe scratch for the single-threaded entry points;
+  /// match_batch threads a caller-owned MatchScratch through instead.
+  mutable MatchScratch scratch_;
 };
 
 }  // namespace bluedove

@@ -46,6 +46,14 @@ struct MatchHit {
 struct MatchScratch {
   std::vector<std::uint32_t> sel;
   std::vector<std::uint32_t> slots;
+  // Batched-probe staging (FlatBucketIndex::match_batch): messages are
+  // probed in bucket order so consecutive probes hit the same columns, but
+  // hits must be emitted in message order. The probe results are staged
+  // here, then copied out in original order.
+  std::vector<std::uint64_t> order;        ///< (bucket << 32 | msg index), sorted
+  std::vector<MatchHit> staged;            ///< hits in probe (bucket) order
+  std::vector<std::uint32_t> staged_off;   ///< per-message [start, count)
+  std::vector<double> staged_work;         ///< per-message work units
 };
 
 /// Work units accumulated during index operations. One unit is one

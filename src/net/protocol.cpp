@@ -108,7 +108,7 @@ void write_payload(serde::Writer& w, const Delivery& m) {
   w.f64(m.dispatched_at);
   w.varint(m.values.size());
   for (Value v : m.values) w.f64(v);
-  w.str(m.payload.str());
+  write_payload_ref(w, m.payload);
   w.varint(m.trace_id);
 }
 Delivery read_delivery(serde::Reader& r) {
@@ -120,7 +120,7 @@ Delivery read_delivery(serde::Reader& r) {
   const auto n = r.varint();
   m.values.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n && r.ok(); ++i) m.values.push_back(r.f64());
-  m.payload = r.str();
+  m.payload = read_payload_ref(r);
   m.trace_id = r.varint();
   return m;
 }

@@ -91,39 +91,9 @@ struct MatchRequestBatch {
 // Matcher -> subscriber / metrics sink
 // --------------------------------------------------------------------------
 
-/// Read-only payload shared across a delivery fan-out: when a message
-/// matches N subscriptions, all N Delivery envelopes reference one heap
-/// string instead of each owning a copy. Behaves like a const std::string
-/// at the call sites; serialization writes the bytes inline, so the wire
-/// format is unchanged.
-class PayloadRef {
- public:
-  PayloadRef() = default;
-  PayloadRef(std::string s)
-      : str_(s.empty() ? nullptr
-                       : std::make_shared<const std::string>(std::move(s))) {}
-  PayloadRef(const char* s) : PayloadRef(std::string(s)) {}
-  PayloadRef(std::shared_ptr<const std::string> s) : str_(std::move(s)) {}
-
-  const std::string& str() const {
-    static const std::string kEmpty;
-    return str_ ? *str_ : kEmpty;
-  }
-  operator const std::string&() const { return str(); }
-  const char* c_str() const { return str().c_str(); }
-  std::size_t size() const { return str().size(); }
-  bool empty() const { return str().empty(); }
-
-  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
-    return a.str() == b.str();
-  }
-  friend std::ostream& operator<<(std::ostream& os, const PayloadRef& p) {
-    return os << p.str();
-  }
-
- private:
-  std::shared_ptr<const std::string> str_;
-};
+// PayloadRef (the refcounted zero-copy payload shared across a delivery
+// fan-out) lives in attr/payload.h now — Message carries one too, so the
+// whole pipeline from ClientPublish to Delivery shares a single block.
 
 /// Notification of one matching subscription (full-matching mode).
 struct Delivery {

@@ -168,6 +168,9 @@ TcpHost::TcpHost(NodeId self, std::uint16_t listen_port,
   m_queue_drops_ = &wire_metrics_.counter("wire.queue_full_drops");
   m_send_drops_ = &wire_metrics_.counter("wire.send_error_drops");
   m_connects_ = &wire_metrics_.counter("wire.connects");
+  m_payload_copies_ = &wire_metrics_.counter("wire.payload_copies");
+  m_payload_copy_bytes_ =
+      &wire_metrics_.counter("wire.payload_bytes_copied");
   m_frame_envs_ = &wire_metrics_.histogram("wire.frame_envelopes");
   m_frame_bytes_ = &wire_metrics_.histogram("wire.frame_bytes");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -302,16 +305,22 @@ void TcpHost::accept_loop() {
 }
 
 void TcpHost::reader_loop(int fd) {
-  std::vector<std::uint8_t> buf;
   while (true) {
     std::uint8_t len_bytes[4];
     if (!wire::read_all(fd, len_bytes, 4)) break;
     const std::uint32_t len = wire::read_frame_len(len_bytes);
     if (len < 4 || len > wire::kMaxFrame) break;  // malformed frame
-    buf.resize(len);
-    if (!wire::read_all(fd, buf.data(), len)) break;
-    wire::ParsedFrame frame = wire::parse_frame(buf.data(), buf.size());
+    // One refcounted buffer per frame: parsed payloads are zero-copy views
+    // into it, and the buffer lives exactly as long as any envelope (or
+    // any Delivery fanned out from one) still references its bytes.
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(len);
+    if (!wire::read_all(fd, buf->data(), len)) break;
+    wire::ParsedFrame frame = wire::parse_frame(buf->data(), buf->size(), buf);
     if (!frame.ok) break;
+    if (frame.payload_copies != 0) {
+      m_payload_copies_->inc(frame.payload_copies);
+      m_payload_copy_bytes_->inc(frame.payload_bytes_copied);
+    }
     if (frame.from != kInvalidNode) {
       // Learn the return path so replies reach peers that have no
       // registered endpoint (admin scrapers, NAT'd clients).

@@ -254,6 +254,12 @@ class TcpHost {
   obs::Counter* m_queue_drops_ = nullptr; ///< envelopes dropped: queue full
   obs::Counter* m_send_drops_ = nullptr;  ///< envelopes dropped: write failed
   obs::Counter* m_connects_ = nullptr;    ///< outbound dials that succeeded
+  /// Zero-copy accounting: payload bytes the receive path had to copy out
+  /// of a frame instead of viewing in place. Steady state should be 0 —
+  /// reader_loop hands parse_frame the refcounted frame buffer, so every
+  /// payload is a view shared across the fan-out (see attr/payload.h).
+  obs::Counter* m_payload_copies_ = nullptr;
+  obs::Counter* m_payload_copy_bytes_ = nullptr;
   obs::LatencyHistogram* m_frame_envs_ = nullptr;   ///< envelopes per frame
   obs::LatencyHistogram* m_frame_bytes_ = nullptr;  ///< bytes per frame
 };

@@ -33,14 +33,18 @@ std::uint32_t read_frame_len(const std::uint8_t bytes[4]) {
          (static_cast<std::uint32_t>(bytes[3]) << 24);
 }
 
-ParsedFrame parse_frame(const std::uint8_t* body, std::size_t len) {
+ParsedFrame parse_frame(const std::uint8_t* body, std::size_t len,
+                        std::shared_ptr<const void> owner) {
   ParsedFrame out;
   serde::Reader r(body, len);
+  if (owner != nullptr) r.set_owner(std::move(owner));
   out.from = r.u32();
   while (r.ok() && !r.at_end()) {
     out.envelopes.push_back(read_envelope(r));
   }
   out.ok = r.ok() && !out.envelopes.empty();
+  out.payload_copies = r.copies();
+  out.payload_bytes_copied = r.copy_bytes();
   return out;
 }
 

@@ -17,6 +17,7 @@
 // up front and patched in place, so there is no second full-frame copy.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/serde.h"
@@ -51,12 +52,22 @@ std::uint32_t read_frame_len(const std::uint8_t bytes[4]);
 
 /// Parses a frame body (everything after the length prefix): the sender id
 /// followed by one or more envelopes.
+///
+/// When `owner` is supplied (the transport passes the refcounted frame
+/// buffer `body` points into), payload fields parse as zero-copy views
+/// that share the owner — the frame stays alive as long as any payload
+/// does, however wide the fan-out. Without an owner every payload is
+/// copied out (self-contained envelopes; the copies are counted below).
 struct ParsedFrame {
   NodeId from = kInvalidNode;
   std::vector<Envelope> envelopes;
   bool ok = false;
+  /// Payload copies this parse had to make (0 when an owner was supplied).
+  std::uint64_t payload_copies = 0;
+  std::uint64_t payload_bytes_copied = 0;
 };
-ParsedFrame parse_frame(const std::uint8_t* body, std::size_t len);
+ParsedFrame parse_frame(const std::uint8_t* body, std::size_t len,
+                        std::shared_ptr<const void> owner = nullptr);
 
 /// Loops ::send with MSG_NOSIGNAL until all `len` bytes are written.
 bool write_all(int fd, const void* data, std::size_t len);

@@ -339,8 +339,8 @@ void MatcherNode::complete_batch(ServiceJob& job) {
       match_count += job.wide_offsets[i + 1] - job.wide_offsets[i];
     }
     if (deliver && match_count != 0) {
-      // One heap copy of the payload for the whole fan-out; every
-      // Delivery shares it through the PayloadRef.
+      // Zero-copy fan-out: every Delivery shares the request's payload
+      // block (producer string or inbound frame buffer) by refcount.
       const PayloadRef payload(std::move(req.msg.payload));
       auto send_one = [&](const MatchHit& hit) {
         Delivery d;

@@ -48,6 +48,8 @@ const char* to_string(AuditKind kind) {
       return "store-accounting";
     case AuditKind::kQueueAccounting:
       return "queue-accounting";
+    case AuditKind::kSimdKernel:
+      return "simd-kernel";
     default:
       return "unknown";
   }

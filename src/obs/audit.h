@@ -22,6 +22,10 @@
 //                   live + free + limbo == allocated capacity
 //   kQueueAccounting  bounded-queue stats close: enqueued - dequeued ==
 //                   depth, 0 <= depth <= high_water
+//   kSimdKernel     a vectorized match probe agrees with the scalar
+//                   reference kernel (sampled differential cross-check in
+//                   FlatBucketIndex::probe whenever a wide kernel is
+//                   active)
 //
 // The determinism digest is the complementary whole-run check: the
 // simulator hashes its delivered event stream (time, endpoints, payload
@@ -43,7 +47,8 @@ enum class AuditKind : int {
   kGossipVersion = 1,
   kStoreAccounting = 2,
   kQueueAccounting = 3,
-  kCount = 4,
+  kSimdKernel = 4,
+  kCount = 5,
 };
 
 const char* to_string(AuditKind kind);

@@ -1,0 +1,152 @@
+#include "simd/range_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace bluedove::simd {
+
+namespace detail {
+// Defined in range_kernel_avx2.cpp / range_kernel_avx512.cpp /
+// range_kernel_neon.cpp; nullptr when the variant is not compiled for
+// this target.
+const RangeKernel* avx2_kernel();
+const RangeKernel* avx512_kernel();
+const RangeKernel* neon_kernel();
+}  // namespace detail
+
+namespace {
+
+std::size_t scan_scalar(const double* lo, const double* hi, std::size_t n,
+                        double v, std::uint32_t* sel) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sel[count] = static_cast<std::uint32_t>(i);
+    count += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
+  }
+  return count;
+}
+
+std::size_t compact_scalar(const double* lo, const double* hi, double v,
+                           std::uint32_t* sel, std::size_t count) {
+  std::size_t kept = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint32_t i = sel[j];
+    sel[kept] = i;
+    kept += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
+  }
+  return kept;
+}
+
+constexpr RangeKernel kScalarKernel{scan_scalar, compact_scalar,
+                                    KernelKind::kScalar, "scalar", 1};
+
+/// Capability-based choice: widest runnable variant, else scalar.
+const RangeKernel* dispatch_auto() {
+  if (const RangeKernel* k = detail::avx512_kernel(); k && runnable(*k)) {
+    return k;
+  }
+  if (const RangeKernel* k = detail::avx2_kernel(); k && runnable(*k)) {
+    return k;
+  }
+  if (const RangeKernel* k = detail::neon_kernel(); k && runnable(*k)) {
+    return k;
+  }
+  return &kScalarKernel;
+}
+
+/// Startup choice: BLUEDOVE_SIMD env override wins, else auto dispatch.
+const RangeKernel* dispatch_startup() {
+  if (const char* env = std::getenv("BLUEDOVE_SIMD");
+      env != nullptr && *env != '\0') {
+    const std::string mode(env);
+    if (mode == "off" || mode == "scalar") return &kScalarKernel;
+    if (mode != "auto") {
+      if (const RangeKernel* k = kernel_by_name(mode); k && runnable(*k)) {
+        return k;
+      }
+      // Unknown / unusable request: fall through to auto rather than run
+      // a kernel the CPU cannot execute.
+    }
+  }
+  return dispatch_auto();
+}
+
+std::atomic<const RangeKernel*> g_active{nullptr};
+
+}  // namespace
+
+const RangeKernel& scalar_kernel() { return kScalarKernel; }
+
+const std::vector<const RangeKernel*>& compiled_kernels() {
+  static const std::vector<const RangeKernel*> kAll = [] {
+    std::vector<const RangeKernel*> all{&kScalarKernel};
+    if (const RangeKernel* k = detail::avx2_kernel()) all.push_back(k);
+    if (const RangeKernel* k = detail::avx512_kernel()) all.push_back(k);
+    if (const RangeKernel* k = detail::neon_kernel()) all.push_back(k);
+    return all;
+  }();
+  return kAll;
+}
+
+bool runnable(const RangeKernel& k) {
+  switch (k.kind) {
+    case KernelKind::kScalar:
+      return true;
+    case KernelKind::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case KernelKind::kAvx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      // The kernels use compressed stores on 256-bit index vectors, which
+      // needs the VL extension on top of the foundation.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+#else
+      return false;
+#endif
+    case KernelKind::kNeon:
+#if defined(__aarch64__)
+      return true;  // AdvSIMD is mandatory on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const RangeKernel* kernel_by_name(const std::string& name) {
+  for (const RangeKernel* k : compiled_kernels()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const RangeKernel& active_kernel() {
+  const RangeKernel* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = dispatch_startup();
+    // Racing first calls resolve identically; either store wins.
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+bool set_kernel(const std::string& mode) {
+  const RangeKernel* k = nullptr;
+  if (mode == "auto") {
+    k = dispatch_auto();
+  } else if (mode == "off" || mode == "scalar") {
+    k = &kScalarKernel;
+  } else {
+    const RangeKernel* named = kernel_by_name(mode);
+    if (named == nullptr || !runnable(*named)) return false;
+    k = named;
+  }
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace bluedove::simd

@@ -1,0 +1,81 @@
+#pragma once
+// Runtime-dispatched range-compare kernels for the columnar match probe.
+//
+// The FlatBucketIndex probe is two loops over contiguous double columns:
+// a full scan of dimension 0 that emits a selection vector, and an
+// in-place compaction of that selection through dimensions 1..k-1. Both
+// loops compare one message coordinate v against packed lo/hi columns with
+// half-open semantics (lo <= v && v < hi). This header exposes that pair
+// of loops as a kernel family with one scalar reference implementation
+// (always compiled, the differential oracle) and wide variants per ISA
+// (AVX2 and AVX-512 on x86-64, NEON on aarch64) compiled into their own
+// translation units so the rest of the tree never needs -mavx2/-mavx512f.
+//
+// Dispatch: the active kernel is chosen once, lazily, from (a) the
+// BLUEDOVE_SIMD environment variable if set ("auto", "scalar", "avx2",
+// "avx512", "neon", "off"), else (b) CPU capability probing
+// (__builtin_cpu_supports on x86-64, unconditional NEON on aarch64),
+// preferring the widest runnable variant and falling back to scalar. The
+// choice can be overridden at runtime with set_kernel() (the --simd flag
+// of bluedove_cli / bluedove_noded and the bench sweeps use this).
+//
+// Semantics contract (what the tests pin against the scalar oracle):
+//   - half-open containment: selected iff lo[i] <= v && v < hi[i]
+//   - IEEE comparisons: any NaN operand deselects (ordered-quiet compares)
+//   - selection indices are emitted in ascending order, exactly the
+//     indices the scalar loop would produce (byte-identical output)
+//   - columns need no special alignment: kernels use unaligned loads, so
+//     plain std::vector<double> storage is fine (see DESIGN.md §12)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bluedove::simd {
+
+enum class KernelKind { kScalar, kAvx2, kAvx512, kNeon };
+
+struct RangeKernel {
+  /// Scans lo[0..n) / hi[0..n) against v and writes the selected indices
+  /// (ascending) into sel[0..return). sel must have room for n entries.
+  using ScanFn = std::size_t (*)(const double* lo, const double* hi,
+                                 std::size_t n, double v, std::uint32_t* sel);
+  /// Compacts sel[0..count) in place, keeping index i iff
+  /// lo[i] <= v && v < hi[i]. Returns the surviving count.
+  using CompactFn = std::size_t (*)(const double* lo, const double* hi,
+                                    double v, std::uint32_t* sel,
+                                    std::size_t count);
+
+  ScanFn scan = nullptr;
+  CompactFn compact = nullptr;
+  KernelKind kind = KernelKind::kScalar;
+  const char* name = "scalar";
+  std::size_t lanes = 1;  ///< doubles per vector register
+};
+
+/// The portable reference kernel; always compiled in.
+const RangeKernel& scalar_kernel();
+
+/// Every kernel variant compiled into this binary (scalar always present;
+/// a wide variant appears even when the running CPU cannot execute it —
+/// check runnable() before invoking one directly).
+const std::vector<const RangeKernel*>& compiled_kernels();
+
+/// True when the running CPU can execute `k`.
+bool runnable(const RangeKernel& k);
+
+/// Looks a compiled-in variant up by name; nullptr when absent.
+const RangeKernel* kernel_by_name(const std::string& name);
+
+/// The kernel the probe path currently uses. First call resolves the
+/// BLUEDOVE_SIMD environment variable / CPU capabilities.
+const RangeKernel& active_kernel();
+
+/// Selects the active kernel: "auto" re-runs capability dispatch,
+/// "off"/"scalar" force the reference kernel, "avx2"/"neon" force a wide
+/// variant. Returns false (active kernel unchanged) when the variant is
+/// not compiled in or the CPU cannot run it.
+bool set_kernel(const std::string& mode);
+
+}  // namespace bluedove::simd

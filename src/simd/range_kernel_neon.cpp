@@ -1,0 +1,82 @@
+// NEON (AdvSIMD) variant of the range-compare kernel family for aarch64,
+// where 128-bit SIMD is architecturally mandatory — no runtime probe
+// needed. Like the AVX2 TU, this file is the only place NEON intrinsics
+// are allowed (bd_lint rule `intrinsics`).
+//
+// vcleq_f64 / vcltq_f64 return all-zero lanes when either operand is NaN,
+// matching the scalar (lo <= v) & (v < hi) semantics. Loads are unaligned.
+
+#include "simd/range_kernel.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace bluedove::simd {
+namespace {
+
+std::size_t scan_neon(const double* lo, const double* hi, std::size_t n,
+                      double v, std::uint32_t* sel) {
+  const float64x2_t vv = vdupq_n_f64(v);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t in =
+        vandq_u64(vcleq_f64(vld1q_f64(lo + i), vv),
+                  vcltq_f64(vv, vld1q_f64(hi + i)));
+    sel[count] = static_cast<std::uint32_t>(i);
+    count += static_cast<std::size_t>(vgetq_lane_u64(in, 0) & 1u);
+    sel[count] = static_cast<std::uint32_t>(i) + 1;
+    count += static_cast<std::size_t>(vgetq_lane_u64(in, 1) & 1u);
+  }
+  for (; i < n; ++i) {
+    sel[count] = static_cast<std::uint32_t>(i);
+    count += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
+  }
+  return count;
+}
+
+std::size_t compact_neon(const double* lo, const double* hi, double v,
+                         std::uint32_t* sel, std::size_t count) {
+  const float64x2_t vv = vdupq_n_f64(v);
+  std::size_t kept = 0;
+  std::size_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    const std::uint32_t i0 = sel[j];
+    const std::uint32_t i1 = sel[j + 1];
+    float64x2_t l = vdupq_n_f64(lo[i0]);
+    l = vsetq_lane_f64(lo[i1], l, 1);
+    float64x2_t h = vdupq_n_f64(hi[i0]);
+    h = vsetq_lane_f64(hi[i1], h, 1);
+    const uint64x2_t in = vandq_u64(vcleq_f64(l, vv), vcltq_f64(vv, h));
+    sel[kept] = i0;
+    kept += static_cast<std::size_t>(vgetq_lane_u64(in, 0) & 1u);
+    sel[kept] = i1;
+    kept += static_cast<std::size_t>(vgetq_lane_u64(in, 1) & 1u);
+  }
+  for (; j < count; ++j) {
+    const std::uint32_t i = sel[j];
+    sel[kept] = i;
+    kept += static_cast<std::size_t>((lo[i] <= v) & (v < hi[i]));
+  }
+  return kept;
+}
+
+constexpr RangeKernel kNeonKernel{scan_neon, compact_neon, KernelKind::kNeon,
+                                  "neon", 2};
+
+}  // namespace
+
+namespace detail {
+const RangeKernel* neon_kernel() { return &kNeonKernel; }
+}  // namespace detail
+
+}  // namespace bluedove::simd
+
+#else  // not aarch64
+
+namespace bluedove::simd::detail {
+const RangeKernel* neon_kernel() { return nullptr; }
+}  // namespace bluedove::simd::detail
+
+#endif

@@ -62,7 +62,7 @@ Message MessageGenerator::next() {
                               : uniform_[d].sample(rng_));
   }
   if (workload_.payload_bytes > 0) {
-    msg.payload.assign(workload_.payload_bytes, 'x');
+    msg.payload = std::string(workload_.payload_bytes, 'x');
   }
   return msg;
 }

@@ -482,6 +482,74 @@ TEST(FlatBucketIndex, SlotsAreRecycledAfterChurn) {
   EXPECT_LE(index.store().capacity(), 100u);
 }
 
+TEST(FlatBucketIndex, ChurnKeepsCapacityBoundedAndResultsCorrect) {
+  // Regression test for the swap-remove capacity thrash: columns grow in
+  // lockstep with insertions (doubling, never per-element), erase never
+  // reallocates, and compact_storage() is the only thing that releases
+  // memory. Throughout heavy interleaved churn the engine must keep
+  // agreeing with a LinearScanIndex oracle.
+  const Range domain{0, 1000};
+  constexpr DimId pivot = 0;
+  FlatBucketIndex flat(pivot, domain);
+  LinearScanIndex oracle(pivot);
+
+  const AttributeSchema schema = AttributeSchema::uniform(3, 1000.0);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  wl.predicate_width = 140.0;
+  SubscriptionGenerator gen(wl, 4242);
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 2121);
+  Rng rng(7);
+
+  std::vector<SubPtr> live;
+  std::size_t peak_capacity = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      auto sub = std::make_shared<const Subscription>(gen.next());
+      live.push_back(sub);
+      flat.insert(sub);
+      oracle.insert(sub);
+    }
+    peak_capacity = std::max(peak_capacity, flat.column_capacity_bytes());
+    // Erase roughly half, probing in between so stale columns would show.
+    std::vector<SubPtr> survivors;
+    for (const SubPtr& sub : live) {
+      if (rng.next_below(2) == 0) {
+        EXPECT_TRUE(flat.erase(sub->id));
+        EXPECT_TRUE(oracle.erase(sub->id));
+      } else {
+        survivors.push_back(sub);
+      }
+    }
+    live = std::move(survivors);
+    for (int q = 0; q < 20; ++q) {
+      const Message msg = mgen.next();
+      std::vector<MatchHit> got_hits, want_hits;
+      WorkCounter wc;
+      flat.match_hits(msg, got_hits, wc);
+      oracle.match_hits(msg, want_hits, wc);
+      std::set<SubscriptionId> got, want;
+      for (const auto& h : got_hits) got.insert(h.id);
+      for (const auto& h : want_hits) want.insert(h.id);
+      EXPECT_EQ(got, want) << "round " << round;
+    }
+    // Capacity never shrinks on erase (no thrash), so it is monotone within
+    // the run until compact_storage() is invoked below.
+    EXPECT_GE(flat.column_capacity_bytes(), peak_capacity) << "round " << round;
+    peak_capacity = flat.column_capacity_bytes();
+  }
+
+  // Quiesce: drain almost everything, then compact. Capacity must drop.
+  for (const SubPtr& sub : live) EXPECT_TRUE(flat.erase(sub->id));
+  const std::size_t before = flat.column_capacity_bytes();
+  flat.compact_storage();
+  const std::size_t after = flat.column_capacity_bytes();
+  EXPECT_LT(after, before) << "compact_storage released nothing";
+  EXPECT_EQ(flat.size(), 0u);
+}
+
 TEST(FlatBucketIndex, ColdBucketIsCheap) {
   FlatBucketIndex index(0, Range{0, 1000}, nullptr, 10);
   for (int i = 1; i <= 50; ++i) {

@@ -155,6 +155,104 @@ TEST(WireFraming, ParseRejectsTruncatedAndEmptyFrames) {
 }
 
 // ---------------------------------------------------------------------------
+// Zero-copy payload receive path
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> framed_publish(MessageId id, NodeId from) {
+  const auto bytes = serialize(sample_publish(id));
+  std::vector<std::uint8_t> frame(8);
+  frame.insert(frame.end(), bytes.begin(), bytes.end());
+  net::wire::fill_header(frame.data(),
+                         static_cast<std::uint32_t>(bytes.size()), from);
+  return frame;
+}
+
+TEST(WireZeroCopy, OwnedFrameParsesPayloadsAsViewsIntoTheBuffer) {
+  // Parse with a refcounted owner, the way TcpHost's reader loop does: the
+  // payload must come back as a view into the frame buffer itself — no
+  // copies counted, data pointer inside the buffer.
+  const auto frame = framed_publish(11, 3);
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(frame.begin() + 4,
+                                                         frame.end());
+  const net::wire::ParsedFrame parsed =
+      net::wire::parse_frame(buf->data(), buf->size(), buf);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.payload_copies, 0u);
+  EXPECT_EQ(parsed.payload_bytes_copied, 0u);
+  ASSERT_EQ(parsed.envelopes.size(), 1u);
+  const auto& msg = std::get<ClientPublish>(parsed.envelopes[0].payload).msg;
+  EXPECT_EQ(msg.payload.view(), "payload-11");
+  const char* lo = reinterpret_cast<const char*>(buf->data());
+  EXPECT_GE(msg.payload.data(), lo);
+  EXPECT_LT(msg.payload.data(), lo + buf->size());
+}
+
+TEST(WireZeroCopy, NoOwnerFallsBackToCountedCopies) {
+  // Without an owner a view would dangle, so the parser copies and counts.
+  const auto frame = framed_publish(12, 3);
+  const net::wire::ParsedFrame parsed = net::wire::parse_frame(
+      frame.data() + 4, frame.size() - 4);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.payload_copies, 1u);
+  EXPECT_EQ(parsed.payload_bytes_copied, std::string("payload-12").size());
+  const auto& msg = std::get<ClientPublish>(parsed.envelopes[0].payload).msg;
+  EXPECT_EQ(msg.payload.view(), "payload-12");
+  const char* lo = reinterpret_cast<const char*>(frame.data());
+  const bool inside = msg.payload.data() >= lo &&
+                      msg.payload.data() < lo + frame.size();
+  EXPECT_FALSE(inside) << "copy must not alias the frame buffer";
+}
+
+TEST(WireZeroCopy, PayloadViewKeepsFrameBufferAlive) {
+  // The parsed message is the last reference to the frame buffer: dropping
+  // the local shared_ptr must not invalidate the payload view.
+  Message msg;
+  {
+    const auto frame = framed_publish(13, 3);
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(frame.begin() + 4,
+                                                           frame.end());
+    net::wire::ParsedFrame parsed =
+        net::wire::parse_frame(buf->data(), buf->size(), buf);
+    ASSERT_TRUE(parsed.ok);
+    msg = std::get<ClientPublish>(parsed.envelopes[0].payload).msg;
+    EXPECT_GT(buf.use_count(), 1) << "payload should hold a reference";
+  }  // frame + buf gone; msg.payload's owner keeps the bytes alive
+  EXPECT_EQ(msg.payload.view(), "payload-13");
+}
+
+TEST(WireZeroCopy, TcpReceivePathCountsZeroPayloadCopies) {
+  // End to end over a real socket: every publish received through the
+  // reader loop must keep its payload as a view into the per-frame buffer,
+  // so the receiver's wire.payload_copies counter stays 0.
+  constexpr int kMsgs = 400;
+  auto recv_node = std::make_unique<CountingNode>();
+  CountingNode* rn = recv_node.get();
+  TcpHost receiver(2, 0, std::move(recv_node));
+  receiver.start();
+
+  WireConfig wire;
+  wire.batch = 16;
+  wire.flush_interval = 0.0005;
+  auto send_node = std::make_unique<CountingNode>();
+  CountingNode* sn = send_node.get();
+  TcpHost sender(1, 0, std::move(send_node), 42, wire);
+  sender.add_peer(2, {"127.0.0.1", receiver.port()});
+  sender.start();
+  NodeContext* ctx = wait_ctx(sn);
+
+  for (int m = 0; m < kMsgs; ++m) {
+    ctx->send(2, sample_publish(static_cast<MessageId>(m)));
+  }
+  EXPECT_TRUE(eventually([&] { return rn->publishes.load() == kMsgs; }))
+      << "got " << rn->publishes.load();
+  const auto snap = receiver.wire_metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("wire.payload_copies"), 0u);
+  EXPECT_EQ(snap.counters.at("wire.payload_bytes_copied"), 0u);
+  sender.stop();
+  receiver.stop();
+}
+
+// ---------------------------------------------------------------------------
 // Async wire path over loopback
 // ---------------------------------------------------------------------------
 

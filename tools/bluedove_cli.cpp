@@ -16,6 +16,10 @@
 //   --index=linear-scan|bucket|interval-tree|flat-bucket
 //   --match-batch=N   --msg-skew=J     --seed=N
 //   --reliable        --cores=N
+//   --simd=auto|scalar|off|avx2|avx512|neon   match-probe kernel (auto:
+//                                      widest ISA the CPU supports; scalar
+//                                      and vector paths produce identical
+//                                      results — DESIGN.md §12)
 //
 // Pipeline tracing (run): --trace-sample=R samples a fraction R of the
 // publications and prints the per-stage latency breakdown (dispatch /
@@ -58,6 +62,7 @@
 #include "harness/experiment.h"
 #include "net/tcp_transport.h"
 #include "obs/export.h"
+#include "simd/range_kernel.h"
 
 using namespace bluedove;
 
@@ -403,6 +408,14 @@ int cmd_scale(const CliArgs& args) {
 int main(int argc, char** argv) {
   const CliArgs args = CliArgs::parse(argc, argv);
   if (args.positional().size() != 1) return usage();
+  const std::string simd_mode = args.get("simd", "auto");
+  if (!simd::set_kernel(simd_mode)) {
+    std::fprintf(stderr,
+                 "bluedove_cli: --simd=%s not available on this build/CPU "
+                 "(try auto, scalar, off)\n",
+                 simd_mode.c_str());
+    return 2;
+  }
   const std::string cmd = args.positional()[0];
   int rc;
   if (cmd == "saturate") {

@@ -16,6 +16,12 @@
 //                                    work-stealing pool off the node
 //                                    thread, one lane per dimension
 //                                    (DESIGN.md §10)
+//   --simd=auto|scalar|off|avx2|avx512|neon  match-probe kernel (matcher;
+//                                    default auto: widest ISA the CPU
+//                                    supports, scalar/vector results are
+//                                    identical — DESIGN.md §12). The
+//                                    BLUEDOVE_SIMD env var sets the same
+//                                    default for every process.
 //   --trace-sample=R                 dispatcher trace sampling rate [0,1]
 //   --wire-batch=N                   envelopes coalesced per TCP frame; >1
 //                                    also enables the async writer pool and
@@ -52,6 +58,7 @@
 #include "node/matcher_node.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "simd/range_kernel.h"
 
 using namespace bluedove;
 
@@ -96,6 +103,14 @@ std::map<NodeId, net::TcpEndpoint> parse_peers(const std::string& csv) {
 
 int main(int argc, char** argv) {
   const CliArgs args = CliArgs::parse(argc, argv);
+  const std::string simd_mode = args.get("simd", "auto");
+  if (!simd::set_kernel(simd_mode)) {
+    std::fprintf(stderr,
+                 "bluedove_noded: --simd=%s not available on this build/CPU "
+                 "(try auto, scalar, off)\n",
+                 simd_mode.c_str());
+    return 2;
+  }
   const std::string role = args.get("role", "");
   const auto id = static_cast<NodeId>(args.get_int("id", 0));
   if (role.empty() || id == 0) {

@@ -7,11 +7,14 @@
 #   2. in-tree lint (tools/lint_check.sh)
 #   3. determinism digest double-run (tools/determinism_check.sh)
 #   4. audit-enabled test label (invariant auditor, affinity checker)
-#   5. ASan+UBSan suite (tools/sanitize_check.sh)
-#   6. TSan concurrency suites (tools/tsan_check.sh)
+#   5. SIMD kernel label (vector kernels vs the scalar oracle)
+#   6. ASan+UBSan suite (tools/sanitize_check.sh), then the simd label
+#      again under ASan/UBSan (gather/tail lanes are exactly where an
+#      out-of-bounds read would hide)
+#   7. TSan concurrency suites (tools/tsan_check.sh)
 #
 # Usage: tools/check_all.sh [--fast]
-#   --fast stops after step 4 (skips the sanitizer rebuilds).
+#   --fast stops after step 5 (skips the sanitizer rebuilds).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,6 +36,9 @@ echo "== determinism =="
 echo "== audit label =="
 ctest --test-dir "${repo_root}/build" --output-on-failure -L audit
 
+echo "== simd label =="
+ctest --test-dir "${repo_root}/build" --output-on-failure -L simd
+
 if [[ "${fast}" == "1" ]]; then
   echo "check_all: OK (--fast: sanitizers skipped)"
   exit 0
@@ -40,6 +46,9 @@ fi
 
 echo "== asan+ubsan =="
 "${repo_root}/tools/sanitize_check.sh"
+
+echo "== asan+ubsan: simd label =="
+"${repo_root}/tools/sanitize_check.sh" --label simd
 
 echo "== tsan =="
 "${repo_root}/tools/tsan_check.sh"

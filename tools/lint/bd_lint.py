@@ -29,6 +29,13 @@ Rules (names usable in waivers):
                   so the threading contract is written where the handler is
                   declared and the runtime checker has a documented anchor.
 
+  intrinsics      Raw SIMD intrinsics (_mm*/__m128/__m256/__m512, NEON
+                  vld1q_/float64x2_t and friends, or including immintrin.h /
+                  arm_neon.h) are confined to src/simd/. Everything else goes
+                  through the dispatched kernel family in simd/range_kernel.h
+                  so there is exactly one place where ISA-specific code, its
+                  scalar oracle and its tail handling live (DESIGN.md §12).
+
 Waivers: append `// bd-lint: allow(<rule>)` to the offending line, or put
 the comment alone on the line directly above it. Waive sparingly and say
 why next to the waiver.
@@ -69,6 +76,13 @@ STATIC_OK_RE = re.compile(
 HANDLE_DECL_RE = re.compile(
     r"^\s*(?:[A-Za-z_][A-Za-z0-9_:<>,\s*&]*\s)?handle_[a-z0-9_]*\s*\(")
 AFFINITY_RE = re.compile(r"\bBD_(?:NODE|WORKER|ANY)_THREAD\b")
+INTRINSICS_RE = re.compile(
+    r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\("         # x86 intrinsic calls
+    r"|\b__m(?:128|256|512)[a-z]*\b|\b__mmask\d+\b"  # x86 vector/mask types
+    r"|\bv(?:ld1|st1|ceq|cle|clt|and|get|set)q?_[a-z0-9_]+\s*\("  # NEON calls
+    r"|\b(?:float|uint|int)(?:32|64)x[24]_t\b"   # NEON vector types
+    r"|#\s*include\s*[<\"](?:immintrin|arm_neon|x86intrin)\.h[>\"]")
+INTRINSICS_ALLOWED = ("src/simd/",)
 
 
 def waived(rule, line, prev_line):
@@ -113,6 +127,12 @@ def lint_file(rel, lines, report):
                 report(path, num, "affinity",
                        "handle_* declaration without a BD_*_THREAD "
                        "affinity annotation (common/affinity.h)")
+        if not path.startswith(INTRINSICS_ALLOWED) \
+                and INTRINSICS_RE.search(code):
+            if not waived("intrinsics", line, prev):
+                report(path, num, "intrinsics",
+                       "raw SIMD intrinsics outside src/simd/; use the "
+                       "kernel family in simd/range_kernel.h")
         prev = line
 
 
