@@ -67,9 +67,13 @@ void write_payload(serde::Writer& w, const MatchRequest& m) {
   w.u16(m.dim);
   w.f64(m.dispatched_at);
   w.u32(m.reply_to);
-  // Trace block: one varint 0 for the (default) untraced case.
+  // Trace block: one varint 0 for the (default) untraced case. The causal
+  // span context rides inside the block so untraced messages cost nothing.
   w.varint(m.trace_id);
-  if (m.trace_id != 0) write_hops(w, m.hops);
+  if (m.trace_id != 0) {
+    w.varint(m.parent_span);
+    write_hops(w, m.hops);
+  }
 }
 MatchRequest read_match_request(serde::Reader& r) {
   MatchRequest m;
@@ -78,7 +82,10 @@ MatchRequest read_match_request(serde::Reader& r) {
   m.dispatched_at = r.f64();
   m.reply_to = r.u32();
   m.trace_id = r.varint();
-  if (m.trace_id != 0) m.hops = read_hops(r);
+  if (m.trace_id != 0) {
+    m.parent_span = r.varint();
+    m.hops = read_hops(r);
+  }
   return m;
 }
 
@@ -133,7 +140,10 @@ void write_payload(serde::Writer& w, const MatchCompleted& m) {
   w.u32(m.match_count);
   w.f64(m.work_units);
   w.varint(m.trace_id);
-  if (m.trace_id != 0) write_hops(w, m.hops);
+  if (m.trace_id != 0) {
+    w.varint(m.parent_span);
+    write_hops(w, m.hops);
+  }
 }
 MatchCompleted read_match_completed(serde::Reader& r) {
   MatchCompleted m;
@@ -144,7 +154,10 @@ MatchCompleted read_match_completed(serde::Reader& r) {
   m.match_count = r.u32();
   m.work_units = r.f64();
   m.trace_id = r.varint();
-  if (m.trace_id != 0) m.hops = read_hops(r);
+  if (m.trace_id != 0) {
+    m.parent_span = r.varint();
+    m.hops = read_hops(r);
+  }
   return m;
 }
 
@@ -154,6 +167,7 @@ void write_dim_load(serde::Writer& w, const DimLoad& d) {
   w.f64(d.matching_rate);
   w.f64(d.service_time);
   w.u64(d.subscriptions);
+  w.f64(d.work_rate);
 }
 DimLoad read_dim_load(serde::Reader& r) {
   DimLoad d;
@@ -162,6 +176,7 @@ DimLoad read_dim_load(serde::Reader& r) {
   d.matching_rate = r.f64();
   d.service_time = r.f64();
   d.subscriptions = r.u64();
+  d.work_rate = r.f64();
   return d;
 }
 
@@ -292,6 +307,16 @@ StatsResponse read_stats_response(serde::Reader& r) {
   return StatsResponse{r.str()};
 }
 
+void write_payload(serde::Writer&, const TraceDumpRequest&) {}
+TraceDumpRequest read_trace_dump_request(serde::Reader&) { return {}; }
+
+void write_payload(serde::Writer& w, const TraceDumpResponse& m) {
+  w.str(m.json);
+}
+TraceDumpResponse read_trace_dump_response(serde::Reader& r) {
+  return TraceDumpResponse{r.str()};
+}
+
 }  // namespace
 
 void write_envelope(serde::Writer& w, const Envelope& env) {
@@ -348,6 +373,10 @@ Envelope read_envelope(serde::Reader& r) {
       return Envelope::of(read_stats_response(r));
     case 22:
       return Envelope::of(read_match_request_batch(r));
+    case 23:
+      return Envelope::of(read_trace_dump_request(r));
+    case 24:
+      return Envelope::of(read_trace_dump_response(r));
     default:
       return Envelope::of(TablePullReq{});
   }
@@ -366,7 +395,8 @@ const char* payload_name(const Envelope& env) {
       "MatchCompleted", "LoadReport", "TablePullReq", "TablePullResp",
       "GossipSyn", "GossipAck", "GossipAck2", "JoinRequest", "SplitCommand",
       "HandoverSegment", "LeaveRequest", "HandoverMerge", "MatchAck",
-      "StatsRequest", "StatsResponse", "MatchRequestBatch"};
+      "StatsRequest", "StatsResponse", "MatchRequestBatch",
+      "TraceDumpRequest", "TraceDumpResponse"};
   return kNames[env.payload.index()];
 }
 

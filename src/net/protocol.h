@@ -69,6 +69,12 @@ struct MatchRequest {
   /// by the dispatcher; the matcher then fills the hop stamps as the
   /// message moves through its stages.
   obs::TraceId trace_id = 0;
+  /// Flight-recorder causal context (obs/recorder.h): the dispatcher-side
+  /// span that emitted this request, so a merged cross-node trace can link
+  /// dispatch -> queue -> match -> delivery. Only serialized when trace_id
+  /// is non-zero (the whole trace block is), so untraced wire bytes are
+  /// unchanged.
+  std::uint64_t parent_span = 0;
   obs::TraceHops hops;
 };
 
@@ -118,6 +124,8 @@ struct MatchCompleted {
   /// message was not sampled). The metrics sink derives the per-stage
   /// latency breakdown from these.
   obs::TraceId trace_id = 0;
+  /// Echo of MatchRequest::parent_span (serialized only when traced).
+  std::uint64_t parent_span = 0;
   obs::TraceHops hops;
 };
 
@@ -135,6 +143,10 @@ struct DimLoad {
   double matching_rate = 0.0;  ///< mu, msgs/sec actually matched (throughput)
   double service_time = 0.0;   ///< EWMA seconds per message; 0 = no history
   std::uint64_t subscriptions = 0;
+  /// Index work-units absorbed per second over the report window — the
+  /// per-segment hotness signal (obs/segment_load.h) a forwarding or
+  /// elasticity policy can weigh instead of raw message counts.
+  double work_rate = 0.0;
 };
 
 struct LoadReport {
@@ -219,6 +231,17 @@ struct StatsResponse {
   std::string json;
 };
 
+/// Asks a node to dump its process-wide flight recorder (obs/recorder.h).
+/// Sent by `bluedove_cli trace-dump`.
+struct TraceDumpRequest {};
+
+/// Reply: the Chrome/Perfetto trace-event JSON rendered by
+/// obs/trace_export.h. Dumps from several nodes merge into one cross-node
+/// trace with tools/trace_check.py --merge.
+struct TraceDumpResponse {
+  std::string json;
+};
+
 // --------------------------------------------------------------------------
 // Envelope
 // --------------------------------------------------------------------------
@@ -229,7 +252,8 @@ using Payload =
                  MatchCompleted, LoadReport, TablePullReq, TablePullResp,
                  GossipSyn, GossipAck, GossipAck2, JoinRequest, SplitCommand,
                  HandoverSegment, LeaveRequest, HandoverMerge, MatchAck,
-                 StatsRequest, StatsResponse, MatchRequestBatch>;
+                 StatsRequest, StatsResponse, MatchRequestBatch,
+                 TraceDumpRequest, TraceDumpResponse>;
 
 struct Envelope {
   Payload payload;

@@ -15,10 +15,23 @@
 #include "common/affinity.h"
 #include "common/logging.h"
 #include "net/wire.h"
+#include "obs/recorder.h"
 
 namespace bluedove::net {
 
 namespace {
+
+// Flight-recorder event names (interned once per process).
+namespace rec {
+std::uint16_t frame_in() {
+  static const std::uint16_t id = obs::Recorder::intern("wire.frame_in");
+  return id;
+}
+std::uint16_t flush() {
+  static const std::uint16_t id = obs::Recorder::intern("wire.flush");
+  return id;
+}
+}  // namespace rec
 
 int connect_endpoint(const TcpEndpoint& endpoint) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -305,11 +318,17 @@ void TcpHost::accept_loop() {
 }
 
 void TcpHost::reader_loop(int fd) {
+  // Wire threads bind to the hosted node so merged multi-process traces
+  // attribute socket work to the right pid (node id), on a labelled track.
+  obs::Recorder::bind_node(self_);
+  obs::Recorder::label_thread("node" + std::to_string(self_) +
+                              ".wire.reader");
   while (true) {
     std::uint8_t len_bytes[4];
     if (!wire::read_all(fd, len_bytes, 4)) break;
     const std::uint32_t len = wire::read_frame_len(len_bytes);
     if (len < 4 || len > wire::kMaxFrame) break;  // malformed frame
+    obs::Recorder::instant(rec::frame_in(), 0, len);
     // One refcounted buffer per frame: parsed payloads are zero-copy views
     // into it, and the buffer lives exactly as long as any envelope (or
     // any Delivery fanned out from one) still references its bytes.
@@ -362,6 +381,7 @@ bool TcpHost::enable_offload(int workers, std::size_t lanes) {
   cfg.workers = workers;
   cfg.lanes = std::max<std::size_t>(lanes, 1);
   cfg.seed = seed_;
+  cfg.owner = self_;
   executor_ = std::make_unique<runtime::MatchExecutor>(
       cfg, [this](std::function<void()> fn) { enqueue_task(std::move(fn)); },
       &wire_metrics_);
@@ -511,6 +531,9 @@ bool TcpHost::enqueue_async(NodeId peer, const Envelope& env) {
 }
 
 void TcpHost::writer_loop() {
+  obs::Recorder::bind_node(self_);
+  obs::Recorder::label_thread("node" + std::to_string(self_) +
+                              ".wire.writer");
   while (true) {
     PeerQueue* q = nullptr;
     {
@@ -557,7 +580,11 @@ void TcpHost::drain_peer(PeerQueue& q) {
       q.pending.clear();
       q.depth->set(0.0);
     }
-    const std::size_t dropped = flush_buffers(q, bufs);
+    std::size_t dropped = 0;
+    {
+      obs::ScopedSpan flush_span(rec::flush(), 0, bufs.size());
+      dropped = flush_buffers(q, bufs);
+    }
     if (dropped > 0) {
       dropped_sends_.fetch_add(dropped, std::memory_order_relaxed);
       m_send_drops_->inc(dropped);
@@ -681,6 +708,8 @@ void TcpHost::node_loop() {
   // The node thread is the serialized context for the hosted node: handlers,
   // timer callbacks, and offload completions all execute here.
   affinity::ScopedNodeBind bind(ctx_.get());
+  obs::Recorder::bind_node(self_);
+  obs::Recorder::label_thread("node" + std::to_string(self_));
   node_->start(*ctx_);
   std::unique_lock lock(mu_);
   while (true) {

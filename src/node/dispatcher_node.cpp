@@ -4,8 +4,26 @@
 
 #include "common/logging.h"
 #include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/trace_export.h"
 
 namespace bluedove {
+
+namespace {
+
+// Flight-recorder event names, interned once per process (obs/recorder.h).
+namespace rec {
+std::uint16_t publish() {
+  static const std::uint16_t id = obs::Recorder::intern("dispatch.publish");
+  return id;
+}
+std::uint16_t forward() {
+  static const std::uint16_t id = obs::Recorder::intern("dispatch.forward");
+  return id;
+}
+}  // namespace rec
+
+}  // namespace
 
 DispatcherNode::DispatcherNode(NodeId id, DispatcherConfig config)
     : id_(id), config_(std::move(config)) {
@@ -63,6 +81,9 @@ void DispatcherNode::on_receive(NodeId from, Envelope env) {
           m_stats_reqs_->inc();
           ctx_->send(from, Envelope::of(StatsResponse{
                                obs::to_json(metrics_.snapshot())}));
+        } else if constexpr (std::is_same_v<T, TraceDumpRequest>) {
+          ctx_->send(from, Envelope::of(TraceDumpResponse{
+                               obs::perfetto_trace_json()}));
         } else {
           BD_DEBUG("dispatcher ", id_, " ignoring ", payload_name(env));
         }
@@ -127,6 +148,12 @@ Assignment DispatcherNode::forward(const Message& msg, Timestamp dispatched_at,
   req.dim = choice.dim;
   req.dispatched_at = dispatched_at;
   req.trace_id = trace_id;
+  if (trace_id != 0) {
+    // Causal span context: identify the dispatcher-side forward that
+    // emitted this request, so the matcher's events can point back at it.
+    req.parent_span = (static_cast<std::uint64_t>(id_) << 40) | ++span_seq_;
+    obs::Recorder::instant(rec::forward(), trace_id, choice.matcher);
+  }
   if (config_.reliable_delivery) req.reply_to = id_;
   if (config_.dispatch_work > 0.0) {
     ctx_->charge(config_.dispatch_work,
@@ -195,6 +222,9 @@ void DispatcherNode::handle_publish(ClientPublish msg) {
     trace_id = (static_cast<obs::TraceId>(id_) << 40) | ++trace_seq_;
     m_sampled_->inc();
   }
+  // Recorder span around the whole dispatch decision; carries the trace id
+  // when sampled, so the causal track starts on this node.
+  obs::ScopedSpan publish_span(rec::publish(), trace_id, msg.msg.id);
   const Assignment choice = forward(msg.msg, now, {}, trace_id);
   if (choice.matcher == kInvalidNode) {
     ++dropped_no_candidate_;

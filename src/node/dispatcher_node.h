@@ -154,6 +154,7 @@ class DispatcherNode final : public Node {
   obs::Counter* m_batches_ = nullptr;     ///< MatchRequestBatch envelopes sent
   obs::LatencyHistogram* m_batch_size_ = nullptr;  ///< requests per flush
   std::uint64_t trace_seq_ = 0;           ///< per-dispatcher trace id counter
+  std::uint64_t span_seq_ = 0;            ///< causal span ids (recorder)
 
   /// Per-matcher MatchRequest buffers for wire batching (entries persist
   /// with empty vectors between flushes; no steady-state allocation).

@@ -8,8 +8,42 @@
 #include "index/subscription_store.h"
 #include "obs/audit.h"
 #include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/trace_export.h"
 
 namespace bluedove {
+
+namespace {
+
+// Flight-recorder event names, interned once per process (obs/recorder.h).
+namespace rec {
+std::uint16_t enqueue() {
+  static const std::uint16_t id = obs::Recorder::intern("match.enqueue");
+  return id;
+}
+std::uint16_t probe() {
+  static const std::uint16_t id = obs::Recorder::intern("match.probe");
+  return id;
+}
+std::uint16_t complete() {
+  static const std::uint16_t id = obs::Recorder::intern("match.complete");
+  return id;
+}
+std::uint16_t done() {
+  static const std::uint16_t id = obs::Recorder::intern("match.done");
+  return id;
+}
+std::uint16_t split() {
+  static const std::uint16_t id = obs::Recorder::intern("matcher.split");
+  return id;
+}
+std::uint16_t merge() {
+  static const std::uint16_t id = obs::Recorder::intern("matcher.merge");
+  return id;
+}
+}  // namespace rec
+
+}  // namespace
 
 MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
     : id_(id), config_(std::move(config)), gossiper_(id, config_.gossip) {
@@ -36,7 +70,18 @@ MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
     const std::string prefix = "matcher.dim" + std::to_string(d);
     sets_[d].queue_depth = &metrics_.gauge(prefix + ".queue_depth");
     sets_[d].queue_high_water = &metrics_.gauge(prefix + ".queue_high_water");
+    const std::string seg = "segload.dim" + std::to_string(d);
+    sets_[d].segload_requests = &metrics_.counter(seg + ".requests");
+    sets_[d].segload_deliveries = &metrics_.counter(seg + ".deliveries");
+    sets_[d].segload_work = &metrics_.gauge(seg + ".work_units");
+    sets_[d].segload_queue_seconds = &metrics_.gauge(seg + ".queue_seconds");
+    sets_[d].segload_service_seconds =
+        &metrics_.gauge(seg + ".service_seconds");
+    sets_[d].segload_subs = &metrics_.gauge(seg + ".subscriptions");
+    sets_[d].segload_lo = &metrics_.gauge(seg + ".lo");
+    sets_[d].segload_hi = &metrics_.gauge(seg + ".hi");
   }
+  metrics_.gauge("segload.node").set(static_cast<double>(id_));
   wide_ = std::make_unique<LinearScanIndex>(static_cast<DimId>(0));
   // One probe-scratch slot per pool worker plus a trailing slot for inline
   // runs (OffloadWorker::index == -1), which the node thread serializes.
@@ -101,6 +146,8 @@ void MatcherNode::on_receive(NodeId from, Envelope env) {
           handle_table_resp(msg);
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           handle_stats(from);
+        } else if constexpr (std::is_same_v<T, TraceDumpRequest>) {
+          handle_trace_dump(from);
         } else {
           BD_DEBUG("matcher ", id_, " ignoring ", payload_name(env));
         }
@@ -162,6 +209,9 @@ void MatcherNode::enqueue_match_request(MatchRequest msg) {
   // stamps travel back on the wire is still gated by trace_id, but locally
   // they feed the queue/match latency histograms for all traffic.
   msg.hops.enqueued_at = ctx_->now();
+  set.segload_requests->inc();
+  obs::Recorder::instant(rec::enqueue(), msg.trace_id,
+                         msg.trace_id != 0 ? msg.parent_span : msg.dim);
   set.queue.push_back(std::move(msg));
   const auto depth = static_cast<double>(set.queue.size());
   set.queue_depth->set(depth);
@@ -233,6 +283,7 @@ void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
   for (MatchRequest& req : reqs) {
     req.hops.match_start = service_start;
     m_queue_lat_->record(service_start - req.hops.enqueued_at);
+    set.segload_queue_seconds->add(service_start - req.hops.enqueued_at);
   }
 
   auto job = std::make_shared<ServiceJob>();
@@ -265,6 +316,10 @@ void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
                          arena_guard = std::move(arena_guard), mode,
                          base](OffloadWorker& w) {
     const auto n = job->reqs.size();
+    // Probe span on whichever thread runs the work (pool worker or, on the
+    // inline path, the node thread). Tagged with the first request's trace
+    // id so a sampled message's probe shows up on its causal track.
+    obs::ScopedSpan probe_span(rec::probe(), job->reqs.front().trace_id, n);
     double work = base * static_cast<double>(n);
     job->per_req_work.assign(n, base);
     if (mode == MatcherConfig::MatchMode::kFull) {
@@ -315,8 +370,15 @@ void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
 void MatcherNode::complete_batch(ServiceJob& job) {
   const auto n = job.reqs.size();
   DimSet& done_set = sets_[job.reqs.front().dim];
+  obs::ScopedSpan complete_span(rec::complete(),
+                                job.reqs.front().trace_id, n);
   const double duration = ctx_->now() - job.service_start;
   busy_seconds_in_window_ += duration;
+  done_set.segload_service_seconds->add(duration);
+  double batch_work = 0.0;
+  for (const double w : job.per_req_work) batch_work += w;
+  done_set.segload_work->add(batch_work);
+  done_set.work_in_window += batch_work;
   const double per_msg = duration / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) {
     done_set.ewma_service_time =
@@ -339,6 +401,7 @@ void MatcherNode::complete_batch(ServiceJob& job) {
       match_count += job.wide_offsets[i + 1] - job.wide_offsets[i];
     }
     if (deliver && match_count != 0) {
+      done_set.segload_deliveries->inc(match_count);
       // Zero-copy fan-out: every Delivery shares the request's payload
       // block (producer string or inbound frame buffer) by refcount.
       const PayloadRef payload(std::move(req.msg.payload));
@@ -374,6 +437,9 @@ void MatcherNode::finish(const MatchRequest& req, std::uint32_t match_count,
   ++set.matched_in_window;
   ++matched_total_;
   m_matched_->inc();
+  if (req.trace_id != 0) {
+    obs::Recorder::instant(rec::done(), req.trace_id, match_count);
+  }
   if (req.reply_to != kInvalidNode) {
     ctx_->send(req.reply_to, Envelope::of(MatchAck{req.msg.id}));
   }
@@ -386,7 +452,10 @@ void MatcherNode::finish(const MatchRequest& req, std::uint32_t match_count,
     done.match_count = match_count;
     done.work_units = work_units;
     done.trace_id = req.trace_id;
-    if (req.trace_id != 0) done.hops = req.hops;
+    if (req.trace_id != 0) {
+      done.parent_span = req.parent_span;
+      done.hops = req.hops;
+    }
     ctx_->send(config_.metrics_sink, Envelope::of(done));
   }
 }
@@ -404,7 +473,20 @@ DimLoad MatcherNode::snapshot_dim(const DimSet& set) const {
                        config_.load_report_interval;
   load.service_time = set.ewma_service_time;
   load.subscriptions = set.index->size();
+  load.work_rate = set.work_in_window / config_.load_report_interval;
   return load;
+}
+
+void MatcherNode::refresh_segload_gauges() {
+  const MatcherState* mine = gossiper_.self_state();
+  for (std::size_t d = 0; d < dims(); ++d) {
+    DimSet& set = sets_[d];
+    set.segload_subs->set(static_cast<double>(set.index->size()));
+    if (mine != nullptr && d < mine->segments.size()) {
+      set.segload_lo->set(mine->segments[d].lo);
+      set.segload_hi->set(mine->segments[d].hi);
+    }
+  }
 }
 
 bool MatcherNode::changed_enough(const DimLoad& a, const DimLoad& b,
@@ -440,7 +522,9 @@ void MatcherNode::report_load() {
     report.dims.push_back(snap);
     set.arrived_in_window = 0;
     set.matched_in_window = 0;
+    set.work_in_window = 0.0;
   }
+  refresh_segload_gauges();
   if (push && !left_) {
     for (std::size_t d = 0; d < dims(); ++d) {
       sets_[d].last_pushed = report.dims[d];
@@ -489,6 +573,7 @@ void MatcherNode::handle_split(NodeId /*from*/, const SplitCommand& msg) {
   const Range lower{seg.lo, mid};
   const Range upper{mid, seg.hi};
   obs::audit_split("matcher.split", seg, lower, upper);
+  obs::Recorder::instant(rec::split(), 0, msg.newcomer);
 
   // Subscriptions whose predicate on this dimension reaches into the upper
   // half move (or are copied, when they straddle the midpoint).
@@ -588,6 +673,7 @@ void MatcherNode::handle_leave() {
 
 void MatcherNode::handle_handover_merge(const HandoverMerge& msg) {
   if (msg.dim >= dims()) return;
+  obs::Recorder::instant(rec::merge(), 0, msg.dim);
   for (const Subscription& sub : msg.subs) store_one(sub, msg.dim);
   gossiper_.update_self([&](MatcherState& state) {
     if (msg.dim < state.segments.size()) {
@@ -608,7 +694,13 @@ void MatcherNode::handle_table_resp(const TablePullResp& msg) {
 
 void MatcherNode::handle_stats(NodeId from) {
   m_stats_reqs_->inc();
+  refresh_segload_gauges();  // scrape sees current segment bounds/sizes
   ctx_->send(from, Envelope::of(StatsResponse{obs::to_json(metrics_.snapshot())}));
+}
+
+void MatcherNode::handle_trace_dump(NodeId from) {
+  ctx_->send(from,
+             Envelope::of(TraceDumpResponse{obs::perfetto_trace_json()}));
 }
 
 // --------------------------------------------------------------------------

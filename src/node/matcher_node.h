@@ -115,6 +115,19 @@ class MatcherNode final : public Node {
     // Per-dimension stage-queue instrumentation (cached registry pointers).
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_high_water = nullptr;
+    // Per-segment load attribution (obs/segment_load.h): cached segload.*
+    // instruments. Requests, probe work, queue residency and delivery
+    // fan-out are charged to the segment that served them.
+    obs::Counter* segload_requests = nullptr;
+    obs::Counter* segload_deliveries = nullptr;
+    obs::Gauge* segload_work = nullptr;
+    obs::Gauge* segload_queue_seconds = nullptr;
+    obs::Gauge* segload_service_seconds = nullptr;
+    obs::Gauge* segload_subs = nullptr;
+    obs::Gauge* segload_lo = nullptr;
+    obs::Gauge* segload_hi = nullptr;
+    /// Work-units absorbed this report window (feeds DimLoad::work_rate).
+    double work_in_window = 0.0;
     /// Copy-on-write read snapshot for offloaded matching: refreshed from
     /// `index` at dispatch time when mutations landed since the last
     /// service (`dirty`). `snapshot_guard` pins the arena epoch so
@@ -160,6 +173,7 @@ class MatcherNode final : public Node {
   BD_NODE_THREAD void handle_table_pull(NodeId from);
   BD_NODE_THREAD void handle_table_resp(const TablePullResp& msg);
   BD_NODE_THREAD void handle_stats(NodeId from);
+  BD_NODE_THREAD void handle_trace_dump(NodeId from);
 
   /// Starts servicing queued requests while cores are free.
   void pump();
@@ -179,6 +193,9 @@ class MatcherNode final : public Node {
               double work_units);
 
   void report_load();
+  /// Refreshes the slow-moving segload.* gauges (segment bounds, set
+  /// sizes) so scrapes and load reports see current values.
+  void refresh_segload_gauges();
   DimLoad snapshot_dim(const DimSet& set) const;
   static bool changed_enough(const DimLoad& a, const DimLoad& b,
                              double threshold);

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/trace_export.h"
 
 namespace bluedove::obs {
 
@@ -86,7 +87,18 @@ void Audit::reset() {
 void Audit::report(AuditKind kind, const std::string& detail) {
   g_violations[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
   BD_ERROR("audit violation [", to_string(kind), "] ", detail);
-  if (g_fail_fast.load(std::memory_order_relaxed)) std::abort();
+  if (g_fail_fast.load(std::memory_order_relaxed)) {
+    // Last act before dying: dump the flight recorder so the window of
+    // activity leading up to the violation survives the abort
+    // (DESIGN.md §13). BLUEDOVE_TRACE_PATH overrides the destination.
+    const char* path = std::getenv("BLUEDOVE_TRACE_PATH");
+    if (write_perfetto_file(path != nullptr ? path
+                                            : "bluedove_audit_trace.json")) {
+      BD_ERROR("audit fail-fast: flight-recorder trace written to ",
+               path != nullptr ? path : "bluedove_audit_trace.json");
+    }
+    std::abort();
+  }
 }
 
 // ---------------------------------------------------------------------------

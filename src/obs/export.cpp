@@ -228,6 +228,22 @@ bool from_json(const std::string& json, MetricsSnapshot& out) {
   return r.ok();
 }
 
+std::string prometheus_escape_label(const std::string& value) {
+  // Exposition format: inside a quoted label value, backslash, double-quote
+  // and line-feed must be escaped as \\ , \" and \n respectively.
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus(const MetricsSnapshot& snap) {
   auto sanitize = [](const std::string& name) {
     std::string out = name;
@@ -239,29 +255,53 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     }
     return out;
   };
+  // HELP text escapes backslash and line-feed (but not quotes).
+  auto escape_help = [](const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  // The HELP line deliberately repeats the sanitized name, not the dotted
+  // source: consumers match on the exposition name, and the dotted form
+  // appearing anywhere would defeat grep-based sanity checks.
+  auto header = [&](std::string& dst, const std::string& n,
+                    const char* type) {
+    dst += "# HELP " + n + " " +
+           escape_help("BlueDove " + std::string(type) + " " + n) +
+           "\n# TYPE " + n + " " + type + "\n";
+  };
   std::string out;
   for (const auto& [name, v] : snap.counters) {
     const std::string n = sanitize(name);
-    out += "# TYPE " + n + " counter\n" + n + " ";
+    header(out, n, "counter");
+    out += n + " ";
     append_u64(out, v);
     out += '\n';
   }
   for (const auto& [name, v] : snap.gauges) {
     const std::string n = sanitize(name);
-    out += "# TYPE " + n + " gauge\n" + n + " ";
+    header(out, n, "gauge");
+    out += n + " ";
     append_double(out, v);
     out += '\n';
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string n = sanitize(name);
-    out += "# TYPE " + n + " histogram\n";
+    header(out, n, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       if (h.counts[i] == 0) continue;
       cumulative += h.counts[i];
-      out += n + "_bucket{le=\"";
-      append_double(out, h.unit * LatencyHistogram::bucket_hi(i));
-      out += "\"} ";
+      std::string le;
+      append_double(le, h.unit * LatencyHistogram::bucket_hi(i));
+      out += n + "_bucket{le=\"" + prometheus_escape_label(le) + "\"} ";
       append_u64(out, cumulative);
       out += '\n';
     }

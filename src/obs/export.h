@@ -23,10 +23,16 @@ std::string to_json(const MetricsSnapshot& snap);
 /// insignificant whitespace.
 bool from_json(const std::string& json, MetricsSnapshot& out);
 
-/// Prometheus text exposition (one line per sample; histograms expand to
-/// cumulative le-labelled buckets plus _count / _sum). Metric names have
-/// '.' and '-' mapped to '_' to satisfy the exposition grammar.
+/// Prometheus text exposition. Every metric gets `# HELP` / `# TYPE`
+/// headers (counter, gauge, or histogram); histograms expand to cumulative
+/// le-labelled buckets plus _count / _sum. Metric names have '.' and '-'
+/// mapped to '_' to satisfy the exposition grammar; label values are
+/// escaped with prometheus_escape_label.
 std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and line-feed become \\ , \" and \n.
+std::string prometheus_escape_label(const std::string& value);
 
 /// Writes to_json(snap) to `path` atomically (temp file + rename).
 /// Returns false on I/O failure.

@@ -1,0 +1,206 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace bluedove::obs {
+namespace {
+
+/// One thread's event ring. Single producer (the owning thread), any number
+/// of concurrent readers via dump(). `head` counts events ever written; the
+/// slot for event h is slots[h & mask]. The release store on head publishes
+/// the slot contents to readers.
+struct Ring {
+  explicit Ring(std::size_t events, std::uint64_t ord)
+      : mask(events - 1), ordinal(ord), slots(events) {}
+
+  const std::uint64_t mask;
+  const std::uint64_t ordinal;
+  std::vector<RecEvent> slots;
+  std::atomic<std::uint64_t> head{0};
+  std::mutex label_mu;  // label writes are cold (once per thread)
+  std::string label;
+};
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Global registry of all rings ever created plus the name intern table.
+/// Leaked on purpose: exiting threads leave their history dumpable, and the
+/// audit fail-fast path may dump during process teardown.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::uint16_t> name_ids;
+  std::size_t default_events = Recorder::kDefaultRingEvents;
+
+  Ring* register_thread() {
+    std::lock_guard<std::mutex> lock(mu);
+    rings.push_back(
+        std::make_unique<Ring>(round_pow2(default_events), rings.size()));
+    return rings.back().get();
+  }
+};
+
+Registry& registry() {
+  static Registry* g = new Registry();  // leaked; see struct comment
+  return *g;
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("BLUEDOVE_RECORDER");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "0" || s == "off" || s == "false");
+}
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+thread_local Ring* t_ring = nullptr;
+thread_local NodeId t_node = 0;
+
+inline Ring& my_ring() {
+  if (t_ring == nullptr) t_ring = registry().register_thread();
+  return *t_ring;
+}
+
+inline void push(RecKind kind, std::uint16_t name, TraceId trace,
+                 std::uint64_t arg) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  Ring& ring = my_ring();
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  RecEvent& e = ring.slots[h & ring.mask];
+  e.ts_ns = Recorder::now_ns();
+  e.trace_id = trace;
+  e.arg = arg;
+  e.node = t_node;
+  e.name = name;
+  e.kind = static_cast<std::uint8_t>(kind);
+  e.reserved = 0;
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+bool Recorder::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Recorder::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint16_t Recorder::intern(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.name_ids.find(name);
+  if (it != reg.name_ids.end()) return it->second;
+  const auto id = static_cast<std::uint16_t>(reg.names.size());
+  reg.names.push_back(name);
+  reg.name_ids.emplace(name, id);
+  return id;
+}
+
+std::vector<std::string> Recorder::names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.names;
+}
+
+void Recorder::bind_node(NodeId node) { t_node = node; }
+
+NodeId Recorder::bound_node() { return t_node; }
+
+void Recorder::label_thread(const std::string& label) {
+  Ring& ring = my_ring();
+  std::lock_guard<std::mutex> lock(ring.label_mu);
+  ring.label = label;
+}
+
+void Recorder::span_begin(std::uint16_t name, TraceId trace,
+                          std::uint64_t arg) {
+  push(RecKind::kSpanBegin, name, trace, arg);
+}
+
+void Recorder::span_end(std::uint16_t name, TraceId trace, std::uint64_t arg) {
+  push(RecKind::kSpanEnd, name, trace, arg);
+}
+
+void Recorder::instant(std::uint16_t name, TraceId trace, std::uint64_t arg) {
+  push(RecKind::kInstant, name, trace, arg);
+}
+
+void Recorder::counter(std::uint16_t name, std::uint64_t value) {
+  push(RecKind::kCounter, name, 0, value);
+}
+
+std::uint64_t Recorder::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Recorder::Dump Recorder::dump() {
+  Registry& reg = registry();
+  // Snapshot the ring pointer list and names under the registry lock; rings
+  // themselves are read lock-free afterwards (they are never freed).
+  std::vector<Ring*> rings;
+  Dump out;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    rings.reserve(reg.rings.size());
+    for (const auto& r : reg.rings) rings.push_back(r.get());
+    out.names = reg.names;
+  }
+  for (Ring* ring : rings) {
+    ThreadDump td;
+    td.ordinal = ring->ordinal;
+    {
+      std::lock_guard<std::mutex> lock(ring->label_mu);
+      td.label = ring->label;
+    }
+    const std::uint64_t cap = ring->mask + 1;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t first = head > cap ? head - cap : 0;
+    td.events.reserve(static_cast<std::size_t>(head - first));
+    for (std::uint64_t i = first; i < head; ++i) {
+      td.events.push_back(ring->slots[i & ring->mask]);
+    }
+    // A writer racing with the copy above may have lapped the oldest
+    // entries; re-read the head and discard anything it could have
+    // overwritten so the surviving window is internally consistent.
+    const std::uint64_t head2 = ring->head.load(std::memory_order_acquire);
+    td.written = head2;
+    const std::uint64_t safe_first = head2 > cap ? head2 - cap : 0;
+    if (safe_first > first) {
+      const std::uint64_t drop =
+          std::min<std::uint64_t>(safe_first - first, td.events.size());
+      td.events.erase(td.events.begin(),
+                      td.events.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+    out.threads.push_back(std::move(td));
+  }
+  return out;
+}
+
+void Recorder::set_default_ring_events(std::size_t events) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.default_events = round_pow2(events == 0 ? 1 : events);
+}
+
+std::size_t Recorder::thread_count() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.rings.size();
+}
+
+}  // namespace bluedove::obs

@@ -1,0 +1,122 @@
+#include "obs/segment_load.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace bluedove::obs {
+namespace {
+
+constexpr const char* kMarker = "segload.";
+
+/// Parses "dim<k>.<field>" -> (k, field). Returns false for "node" etc.
+bool parse_dim_field(const std::string& rest, DimId* dim,
+                     std::string* field) {
+  if (rest.rfind("dim", 0) != 0) return false;
+  const auto dot = rest.find('.', 3);
+  if (dot == std::string::npos || dot == 3) return false;
+  *dim = static_cast<DimId>(std::strtoul(rest.substr(3, dot - 3).c_str(),
+                                         nullptr, 10));
+  *field = rest.substr(dot + 1);
+  return true;
+}
+
+SegmentLoad& row_for(std::map<DimId, SegmentLoad>& rows, DimId dim) {
+  SegmentLoad& row = rows[dim];
+  row.dim = dim;
+  return row;
+}
+
+}  // namespace
+
+std::vector<SegmentLoadTable> SegmentLoadTable::from_snapshot(
+    const MetricsSnapshot& snap) {
+  struct Partial {
+    NodeId node = kInvalidNode;
+    std::map<DimId, SegmentLoad> rows;
+  };
+  std::map<std::string, Partial> by_prefix;
+
+  auto visit = [&](const std::string& name, double value, bool is_counter) {
+    const auto pos = name.find(kMarker);
+    if (pos == std::string::npos) return;
+    Partial& p = by_prefix[name.substr(0, pos)];
+    const std::string rest = name.substr(pos + std::string(kMarker).size());
+    if (rest == "node") {
+      p.node = static_cast<NodeId>(value);
+      return;
+    }
+    DimId dim = 0;
+    std::string field;
+    if (!parse_dim_field(rest, &dim, &field)) return;
+    SegmentLoad& row = row_for(p.rows, dim);
+    if (field == "lo") {
+      row.lo = value;
+    } else if (field == "hi") {
+      row.hi = value;
+    } else if (field == "requests" && is_counter) {
+      row.requests = static_cast<std::uint64_t>(value);
+    } else if (field == "deliveries" && is_counter) {
+      row.deliveries = static_cast<std::uint64_t>(value);
+    } else if (field == "work_units") {
+      row.work_units = value;
+    } else if (field == "queue_seconds") {
+      row.queue_seconds = value;
+    } else if (field == "service_seconds") {
+      row.service_seconds = value;
+    } else if (field == "subscriptions") {
+      row.subscriptions = static_cast<std::uint64_t>(value);
+    }
+  };
+  for (const auto& [name, v] : snap.counters) {
+    visit(name, static_cast<double>(v), true);
+  }
+  for (const auto& [name, v] : snap.gauges) visit(name, v, false);
+
+  std::vector<SegmentLoadTable> out;
+  for (auto& [prefix, partial] : by_prefix) {
+    if (partial.rows.empty()) continue;
+    SegmentLoadTable table;
+    table.node = partial.node;
+    table.prefix = prefix;
+    for (auto& [dim, row] : partial.rows) table.rows.push_back(row);
+    out.push_back(std::move(table));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentLoadTable& a, const SegmentLoadTable& b) {
+              return a.node != b.node ? a.node < b.node
+                                      : a.prefix < b.prefix;
+            });
+  return out;
+}
+
+std::string SegmentLoadTable::format() const {
+  std::string out;
+  char buf[256];
+  if (node != kInvalidNode) {
+    std::snprintf(buf, sizeof(buf), "matcher %u segment load:\n", node);
+  } else {
+    std::snprintf(buf, sizeof(buf), "segment load (%s):\n",
+                  prefix.empty() ? "local" : prefix.c_str());
+  }
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  %-4s %10s %10s %10s %12s %10s %10s %11s %8s\n", "dim",
+                "lo", "hi", "requests", "work_units", "queue_s", "svc_s",
+                "deliveries", "subs");
+  out += buf;
+  for (const SegmentLoad& r : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-4u %10.2f %10.2f %10" PRIu64 " %12.1f %10.4f %10.4f "
+                  "%11" PRIu64 " %8" PRIu64 "\n",
+                  static_cast<unsigned>(r.dim), r.lo, r.hi, r.requests,
+                  r.work_units, r.queue_seconds, r.service_seconds,
+                  r.deliveries, r.subscriptions);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace bluedove::obs

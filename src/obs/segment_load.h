@@ -1,0 +1,61 @@
+#pragma once
+// Per-segment load attribution (DESIGN.md §13). Matchers account every
+// match request, its probe cost in work-units, its queue residency and its
+// delivery fan-out against the dimension segment that served it, publishing
+// the rollup as `segload.*` metrics in their registry. Those ride the
+// existing StatsResponse / stats-json paths unchanged; SegmentLoadTable is
+// the typed view a consumer (bluedove_cli, an elasticity policy, a test)
+// reconstructs from any MetricsSnapshot.
+//
+// Naming convention (all in a matcher's registry):
+//   segload.node                    gauge    matcher NodeId
+//   segload.dim<k>.lo / .hi        gauge    segment bounds on dimension k
+//   segload.dim<k>.requests        counter  match requests enqueued
+//   segload.dim<k>.deliveries      counter  deliveries fanned out
+//   segload.dim<k>.work_units      gauge    cumulative probe work-units
+//   segload.dim<k>.queue_seconds   gauge    cumulative queue residency
+//   segload.dim<k>.service_seconds gauge    cumulative probe wall time
+//   segload.dim<k>.subscriptions   gauge    stored subscriptions
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace bluedove::obs {
+
+/// Rollup for one dimension segment a matcher serves.
+struct SegmentLoad {
+  DimId dim = 0;
+  double lo = 0.0;  ///< segment lower bound on dimension `dim`
+  double hi = 0.0;  ///< segment upper bound
+  std::uint64_t requests = 0;
+  std::uint64_t deliveries = 0;
+  double work_units = 0.0;
+  double queue_seconds = 0.0;
+  double service_seconds = 0.0;
+  std::uint64_t subscriptions = 0;
+};
+
+/// One matcher's per-segment load rollup.
+struct SegmentLoadTable {
+  NodeId node = kInvalidNode;
+  std::string prefix;  ///< metric-name prefix the rows came from ("" direct)
+  std::vector<SegmentLoad> rows;
+
+  bool empty() const { return rows.empty(); }
+
+  /// Aligned text rendering (one line per segment).
+  std::string format() const;
+
+  /// Reconstructs every table embedded in `snap`. Handles both a matcher's
+  /// own registry (names start with "segload.") and merged cluster
+  /// snapshots where substrates prefixed them (e.g.
+  /// "runtime.node1000.segload."): rows group by whatever precedes
+  /// "segload.". Tables come back sorted by node id.
+  static std::vector<SegmentLoadTable> from_snapshot(
+      const MetricsSnapshot& snap);
+};
+
+}  // namespace bluedove::obs

@@ -1,0 +1,155 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace bluedove::obs {
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Shared prefix of one trace event record: name, timestamp (trace-event ts
+/// is in microseconds; we keep ns resolution with 3 decimals), pid and tid.
+void append_event_head(std::string& out, const std::string& name,
+                       std::uint64_t ts_ns, std::uint32_t pid,
+                       std::uint64_t tid) {
+  out += "{\"name\":";
+  append_json_string(out, name);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"ts\":%" PRIu64 ".%03u,\"pid\":%u,\"tid\":%" PRIu64,
+                ts_ns / 1000, static_cast<unsigned>(ts_ns % 1000), pid, tid);
+  out += buf;
+}
+
+void append_trace_id(std::string& out, TraceId trace) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", trace);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_perfetto_json(const Recorder::Dump& dump) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  auto name_of = [&](std::uint16_t id) -> std::string {
+    if (id < dump.names.size()) return dump.names[id];
+    return "name" + std::to_string(id);
+  };
+
+  std::set<std::uint32_t> pids;
+  for (const auto& td : dump.threads) {
+    std::set<std::uint32_t> thread_pids;
+    for (const auto& e : td.events) {
+      pids.insert(e.node);
+      thread_pids.insert(e.node);
+      const std::string name = name_of(e.name);
+      sep();
+      append_event_head(out, name, e.ts_ns, e.node, td.ordinal);
+      switch (static_cast<RecKind>(e.kind)) {
+        case RecKind::kSpanBegin:
+          out += ",\"ph\":\"B\",\"cat\":\"bd\"";
+          if (e.arg != 0) {
+            out += ",\"args\":{\"arg\":" + std::to_string(e.arg) + "}";
+          }
+          break;
+        case RecKind::kSpanEnd:
+          out += ",\"ph\":\"E\",\"cat\":\"bd\"";
+          break;
+        case RecKind::kInstant:
+          out += ",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"bd\"";
+          if (e.arg != 0) {
+            out += ",\"args\":{\"arg\":" + std::to_string(e.arg) + "}";
+          }
+          break;
+        case RecKind::kCounter:
+          out += ",\"ph\":\"C\",\"args\":{\"value\":" +
+                 std::to_string(e.arg) + "}";
+          break;
+      }
+      out += "}";
+      // Causal overlay: any traced event also lands on an async track
+      // keyed by the wire trace id, which is what stitches one publish's
+      // hops together across node (pid) boundaries after a merge.
+      if (e.trace_id != 0 &&
+          static_cast<RecKind>(e.kind) != RecKind::kCounter) {
+        const char* ph = "n";
+        if (static_cast<RecKind>(e.kind) == RecKind::kSpanBegin) ph = "b";
+        if (static_cast<RecKind>(e.kind) == RecKind::kSpanEnd) ph = "e";
+        sep();
+        append_event_head(out, name, e.ts_ns, e.node, td.ordinal);
+        out += ",\"ph\":\"";
+        out += ph;
+        out += "\",\"cat\":\"trace\",\"id\":";
+        append_trace_id(out, e.trace_id);
+        out += "}";
+      }
+    }
+    if (!td.label.empty()) {
+      for (const std::uint32_t pid : thread_pids) {
+        sep();
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+               std::to_string(pid) +
+               ",\"tid\":" + std::to_string(td.ordinal) + ",\"args\":{"
+               "\"name\":";
+        append_json_string(out, td.label);
+        out += "}}";
+      }
+    }
+  }
+  for (const std::uint32_t pid : pids) {
+    sep();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"node" +
+           std::to_string(pid) + "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string perfetto_trace_json() {
+  return to_perfetto_json(Recorder::dump());
+}
+
+bool write_perfetto_file(const std::string& path) {
+  const std::string json = perfetto_trace_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace bluedove::obs

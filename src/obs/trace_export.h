@@ -1,0 +1,41 @@
+#pragma once
+// Chrome/Perfetto trace-event JSON export for the flight recorder
+// (DESIGN.md §13). Load the output in https://ui.perfetto.dev or
+// chrome://tracing, or merge multi-process dumps with
+// tools/trace_check.py --merge.
+
+#include <string>
+
+#include "obs/recorder.h"
+
+namespace bluedove::obs {
+
+/// Renders a recorder dump as a Chrome trace-event JSON object:
+///
+///   {"displayTimeUnit":"ns","traceEvents":[...]}
+///
+/// Mapping:
+///  * pid = the NodeId the event was recorded under (0 = unbound thread),
+///    tid = the recording thread's ring ordinal — so one process hosting
+///    many nodes (SimCluster, tests) still renders one track per node.
+///  * kSpanBegin/kSpanEnd -> synchronous "B"/"E" pairs, which strictly nest
+///    per thread (emitters only open spans around same-thread sections).
+///  * kInstant -> thread-scoped "i", kCounter -> "C".
+///  * Any event with a non-zero trace id *additionally* emits an async
+///    event (cat "trace", id "0x<trace_id>"): "b"/"e" for span edges, "n"
+///    for instants. These async tracks are the cross-node causal spans —
+///    after merging per-node dumps, one publish's dispatch, queue, match
+///    and delivery events share an id across pids.
+///  * Thread labels and node ids become "M" process_name/thread_name
+///    metadata records.
+std::string to_perfetto_json(const Recorder::Dump& dump);
+
+/// Dumps the process-wide recorder and renders it (to_perfetto_json).
+std::string perfetto_trace_json();
+
+/// Writes perfetto_trace_json() to `path` (atomically: tmp file + rename).
+/// Returns false on I/O failure. Safe to call from signal-adjacent paths
+/// like the audit fail-fast hook (it only uses the recorder + stdio).
+bool write_perfetto_file(const std::string& path);
+
+}  // namespace bluedove::obs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/affinity.h"
+#include "obs/recorder.h"
 
 namespace bluedove::runtime {
 
@@ -79,6 +80,14 @@ std::optional<MatchExecutor::Job> MatchExecutor::take(std::size_t lane) {
 void MatchExecutor::worker_loop(int index) {
   affinity::ScopedWorkerBind bind;
   BD_ASSERT_WORKER_THREAD();
+  // Flight-recorder identity: offloaded probe spans attribute to the owning
+  // node, on a thread labelled by worker index.
+  obs::Recorder::bind_node(config_.owner);
+  obs::Recorder::label_thread(
+      (config_.owner == kInvalidNode
+           ? std::string("worker")
+           : "node" + std::to_string(config_.owner) + ".worker") +
+      std::to_string(index));
   Rng rng(config_.seed + static_cast<std::uint64_t>(index));
   OffloadWorker self{index, &rng};
   const std::size_t home =

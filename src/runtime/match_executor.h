@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/offload.h"
+#include "common/types.h"
 #include "obs/metrics.h"
 
 namespace bluedove::runtime {
@@ -42,6 +43,9 @@ struct MatchExecutorConfig {
   std::size_t lane_capacity = 65536;
   /// Node seed; worker w draws from an Rng seeded with `seed + w`.
   std::uint64_t seed = 0;
+  /// Owning node's id: workers bind their flight-recorder events to it
+  /// (obs/recorder.h), so offloaded probes attribute to the right node.
+  NodeId owner = kInvalidNode;
 };
 
 class MatchExecutor {

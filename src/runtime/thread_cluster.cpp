@@ -6,6 +6,7 @@
 #include "common/affinity.h"
 #include "common/logging.h"
 #include "obs/audit.h"
+#include "obs/recorder.h"
 #include "runtime/match_executor.h"
 
 namespace bluedove::runtime {
@@ -193,6 +194,10 @@ void ThreadCluster::node_loop(NodeRuntime& rt) {
   // lifetime: start, message handlers, timer callbacks, offload
   // completions. One binding covers them all.
   affinity::ScopedNodeBind bind(rt.ctx.get());
+  // Flight-recorder identity: every event this thread emits carries the
+  // node id, and the Perfetto export names the track after it.
+  obs::Recorder::bind_node(rt.id);
+  obs::Recorder::label_thread("node" + std::to_string(rt.id));
   rt.node->start(*rt.ctx);
   std::unique_lock lock(rt.mu);
   while (true) {
@@ -282,6 +287,7 @@ bool ThreadCluster::enable_offload(NodeId id, int workers, std::size_t lanes) {
   cfg.lanes = std::max<std::size_t>(lanes, 1);
   cfg.lane_capacity = rt->inbox_capacity;
   cfg.seed = rt->seed;
+  cfg.owner = id;
   rt->executor = std::make_unique<MatchExecutor>(
       cfg,
       [this, rt](std::function<void()> fn) {

@@ -2,6 +2,7 @@
 
 #include "common/affinity.h"
 #include "common/logging.h"
+#include "obs/recorder.h"
 
 namespace bluedove::sim {
 
@@ -55,6 +56,7 @@ void SimCluster::start(NodeId id) {
   if (rec == nullptr || rec->started) return;
   rec->started = true;
   affinity::ScopedNodeBind bind(rec->ctx.get());
+  obs::ScopedRecorderNode rbind(id);
   rec->node->start(*rec->ctx);
 }
 
@@ -63,6 +65,7 @@ void SimCluster::start_all() {
     if (!rec->started) {
       rec->started = true;
       affinity::ScopedNodeBind bind(rec->ctx.get());
+      obs::ScopedRecorderNode rbind(id);
       rec->node->start(*rec->ctx);
     }
   }
@@ -148,6 +151,9 @@ void SimCluster::deliver(NodeId from, NodeId to, Envelope env,
     rec->traffic.bytes_received += wire_size(env);
   }
   affinity::ScopedNodeBind bind(rec->ctx.get());
+  // One shared wall-clock thread hosts every sim node; the scoped recorder
+  // binding keeps each event attributed to the node whose handler runs.
+  obs::ScopedRecorderNode rbind(to);
   rec->node->on_receive(from, std::move(env));
 }
 
@@ -232,6 +238,7 @@ TimerId SimCluster::Context::set_timer(Timestamp delay,
         Record* r = cluster->record(id);
         if (r != nullptr && r->alive && r->epoch == epoch) {
           affinity::ScopedNodeBind bind(r->ctx.get());
+          obs::ScopedRecorderNode rbind(id);
           fn();
         }
       });
@@ -253,6 +260,7 @@ void SimCluster::Context::charge(double work_units,
         Record* r = cluster->record(id);
         if (r != nullptr && r->alive && r->epoch == epoch) {
           affinity::ScopedNodeBind bind(r->ctx.get());
+          obs::ScopedRecorderNode rbind(id);
           done();
         }
       });

@@ -160,13 +160,15 @@ TEST(Envelope, LoadReportRoundTrip) {
   lr.cores = 4;
   lr.utilization = 0.75;
   lr.measured_at = 99.0;
-  lr.dims.push_back(DimLoad{3, 100, 90, 0.002, 1234});
+  lr.dims.push_back(DimLoad{3, 100, 90, 0.002, 1234, 5600.0});
   lr.dims.push_back(DimLoad{0, 10, 10, 0.0001, 5});
   const auto back = round_trip(Envelope::of(lr));
   const auto& got = std::get<LoadReport>(back.payload);
   ASSERT_EQ(got.dims.size(), 2u);
   EXPECT_DOUBLE_EQ(got.dims[0].queue_len, 3);
   EXPECT_EQ(got.dims[0].subscriptions, 1234u);
+  EXPECT_DOUBLE_EQ(got.dims[0].work_rate, 5600.0);
+  EXPECT_DOUBLE_EQ(got.dims[1].work_rate, 0.0);
   EXPECT_DOUBLE_EQ(got.utilization, 0.75);
   EXPECT_EQ(got.cores, 4u);
 }
@@ -221,23 +223,27 @@ TEST(Envelope, ControlAndElasticityRoundTrips) {
 TEST(Envelope, TracedMatchRequestRoundTrip) {
   MatchRequest req{sample_msg(), 2, 10.0};
   req.trace_id = 0xabcdef0123ull;
+  req.parent_span = (77ull << 40) | 5;
   req.hops.enqueued_at = 10.25;
   req.hops.match_start = 10.5;
   req.hops.match_end = 10.75;
   const auto back = round_trip(Envelope::of(req));
   const auto& got = std::get<MatchRequest>(back.payload);
   EXPECT_EQ(got.trace_id, req.trace_id);
+  EXPECT_EQ(got.parent_span, req.parent_span);
   EXPECT_DOUBLE_EQ(got.hops.enqueued_at, 10.25);
   EXPECT_DOUBLE_EQ(got.hops.match_start, 10.5);
   EXPECT_DOUBLE_EQ(got.hops.match_end, 10.75);
 
-  // Untraced requests must not pay for hop stamps on the wire: trace_id 0
-  // serializes as a single varint byte and the hops are omitted.
+  // Untraced requests must not pay for the trace block on the wire:
+  // trace_id 0 serializes as a single varint byte and the span context and
+  // hops are omitted. A traced request pays the hop stamps plus one varint
+  // byte for a zero parent span.
   MatchRequest plain{sample_msg(), 2, 10.0};
   MatchRequest traced = plain;
   traced.trace_id = 1;
   EXPECT_EQ(wire_size(Envelope::of(traced)),
-            wire_size(Envelope::of(plain)) + 3 * sizeof(double));
+            wire_size(Envelope::of(plain)) + 3 * sizeof(double) + 1);
 }
 
 TEST(Envelope, TracedMatchCompletedRoundTrip) {
@@ -245,12 +251,14 @@ TEST(Envelope, TracedMatchCompletedRoundTrip) {
   m.msg_id = 5;
   m.matcher = 1001;
   m.trace_id = (1001ull << 40) | 7;
+  m.parent_span = (10ull << 40) | 3;
   m.hops.enqueued_at = 1.0;
   m.hops.match_start = 2.0;
   m.hops.match_end = 3.0;
   const auto back = round_trip(Envelope::of(m));
   const auto& got = std::get<MatchCompleted>(back.payload);
   EXPECT_EQ(got.trace_id, m.trace_id);
+  EXPECT_EQ(got.parent_span, m.parent_span);
   EXPECT_DOUBLE_EQ(got.hops.match_end, 3.0);
 }
 
@@ -271,6 +279,18 @@ TEST(Envelope, StatsRoundTrips) {
   const auto back = round_trip(Envelope::of(resp));
   EXPECT_EQ(std::get<StatsResponse>(back.payload).json, resp.json);
   EXPECT_STREQ(payload_name(back), "StatsResponse");
+}
+
+TEST(Envelope, TraceDumpRoundTrips) {
+  round_trip(Envelope::of(TraceDumpRequest{}));
+  EXPECT_STREQ(payload_name(Envelope::of(TraceDumpRequest{})),
+               "TraceDumpRequest");
+
+  TraceDumpResponse resp;
+  resp.json = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}";
+  const auto back = round_trip(Envelope::of(resp));
+  EXPECT_EQ(std::get<TraceDumpResponse>(back.payload).json, resp.json);
+  EXPECT_STREQ(payload_name(back), "TraceDumpResponse");
 }
 
 TEST(Envelope, WireSizeAndNames) {

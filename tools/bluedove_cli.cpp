@@ -6,6 +6,11 @@
 //   crash      fault-injection run (kill matchers periodically)
 //   scale      elasticity run (auto-scaler on, rising rate)
 //   stats      scrape a live bluedove_noded over TCP and print its metrics
+//   trace-dump pull a live noded's flight recorder as Perfetto JSON
+//   trace-selftest  traced match traffic through an in-process ThreadCluster
+//              matcher, then dump this process's recorder as Perfetto JSON
+//              (--out=PATH, --subs=N, --count=N, --cores=N; CI validates
+//              the dump with tools/trace_check.py)
 //   blast      TCP traffic generator: publish a burst of messages at a live
 //              dispatcher as fast as the wire path allows
 //
@@ -33,11 +38,21 @@
 //   --prom             print Prometheus text exposition instead of a table
 //   --json             print the raw JSON snapshot
 //   --timeout=SEC      reply wait (default 5)
+//   --watch=SEC        re-scrape every SEC seconds and print per-interval
+//                      delta rates (counter deltas divided by the interval)
+//   --watch-count=N    stop after N intervals (default 0 = run until ^C)
+//
+// trace-dump options:
+//   --peer=host:port   the noded to dump (required)
+//   --out=PATH         write the Perfetto JSON there (default: stdout)
+//   --timeout=SEC      reply wait (default 10)
 //
 // blast options:
 //   --peer=host:port   the dispatcher noded to publish at (required)
 //   --target-id=N      the dispatcher's node id (default 10)
 //   --count=N          messages to publish (default 100000)
+//   --subs=N           ClientSubscribes to file before publishing (default 0;
+//                      without subscriptions nothing matches or delivers)
 //   --payload=BYTES    message payload size (default 64)
 //   --wire-batch=N     envelopes per frame (default 32; 1 = sync sends)
 //   --wire-flush=SEC   writer linger for a partial batch (default 0.5 ms)
@@ -51,6 +66,7 @@
 //   bluedove_cli scale --step=500 --step-secs=30 --steps=12
 //   bluedove_cli stats --peer=127.0.0.1:8000
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -60,8 +76,14 @@
 #include "common/cli.h"
 #include "common/rng.h"
 #include "harness/experiment.h"
+#include "net/cluster_table.h"
 #include "net/tcp_transport.h"
+#include "node/matcher_node.h"
 #include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/segment_load.h"
+#include "obs/trace_export.h"
+#include "runtime/thread_cluster.h"
 #include "simd/range_kernel.h"
 
 using namespace bluedove;
@@ -70,8 +92,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bluedove_cli <saturate|run|crash|scale|stats|blast> "
-               "[--options]\n"
+               "usage: bluedove_cli "
+               "<saturate|run|crash|scale|stats|trace-dump|trace-selftest|"
+               "blast> [--options]\n"
                "see the header of tools/bluedove_cli.cpp for the full list\n");
   return 2;
 }
@@ -198,21 +221,86 @@ int cmd_run(const CliArgs& args) {
   return 0;
 }
 
-int cmd_stats(const CliArgs& args) {
+/// Parses "host:port" into `ep`; prints a usage error under `cmd` otherwise.
+bool parse_peer(const CliArgs& args, const char* cmd, net::TcpEndpoint& ep) {
   const std::string peer = args.get("peer", "");
   const auto colon = peer.rfind(':');
   if (peer.empty() || colon == std::string::npos) {
-    std::fprintf(stderr, "stats: --peer=host:port is required\n");
-    return 2;
+    std::fprintf(stderr, "%s: --peer=host:port is required\n", cmd);
+    return false;
   }
-  net::TcpEndpoint ep;
   ep.host = peer.substr(0, colon);
   ep.port = static_cast<std::uint16_t>(std::stoul(peer.substr(colon + 1)));
-  const auto self = static_cast<NodeId>(args.get_int("id", 999999));
+  return true;
+}
+
+/// One StatsRequest scrape, parsed into `snap`. Returns false (with a
+/// message on stderr) on transport failure or a malformed reply.
+bool scrape_stats(const net::TcpEndpoint& ep, NodeId self, double timeout,
+                  obs::MetricsSnapshot& snap) {
   Envelope resp;
   if (!net::TcpHost::request_reply(ep, self, Envelope::of(StatsRequest{}),
-                                   &resp, args.get_double("timeout", 5.0))) {
-    std::fprintf(stderr, "stats: no response from %s\n", peer.c_str());
+                                   &resp, timeout)) {
+    std::fprintf(stderr, "stats: no response from %s:%u\n", ep.host.c_str(),
+                 ep.port);
+    return false;
+  }
+  const auto* sr = std::get_if<StatsResponse>(&resp.payload);
+  if (sr == nullptr) {
+    std::fprintf(stderr, "stats: unexpected reply %s\n", payload_name(resp));
+    return false;
+  }
+  if (!obs::from_json(sr->json, snap)) {
+    std::fprintf(stderr, "stats: malformed snapshot JSON:\n%s\n",
+                 sr->json.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// --watch mode: scrape every `interval` seconds and print the per-interval
+/// rate of every counter that moved (delta / interval).
+int stats_watch(const net::TcpEndpoint& ep, NodeId self, double timeout,
+                double interval, int watch_count) {
+  obs::MetricsSnapshot prev;
+  bool have_prev = false;
+  for (int iter = 0; watch_count <= 0 || iter <= watch_count; ++iter) {
+    obs::MetricsSnapshot snap;
+    if (!scrape_stats(ep, self, timeout, snap)) return 1;
+    if (have_prev) {
+      std::printf("-- interval %.1fs --\n", interval);
+      for (const auto& [name, v] : snap.counters) {
+        const auto it = prev.counters.find(name);
+        const std::uint64_t before = it != prev.counters.end() ? it->second
+                                                               : 0;
+        if (v <= before) continue;  // idle (or reset): nothing to rate
+        std::printf("  %-40s %12.1f /s  (total %llu)\n", name.c_str(),
+                    static_cast<double>(v - before) / interval,
+                    (unsigned long long)v);
+      }
+      std::fflush(stdout);
+    }
+    prev = std::move(snap);
+    have_prev = true;
+    if (watch_count > 0 && iter == watch_count) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
+
+int cmd_stats(const CliArgs& args) {
+  net::TcpEndpoint ep;
+  if (!parse_peer(args, "stats", ep)) return 2;
+  const auto self = static_cast<NodeId>(args.get_int("id", 999999));
+  const double timeout = args.get_double("timeout", 5.0);
+  const double watch = args.get_double("watch", 0.0);
+  const int watch_count = static_cast<int>(args.get_int("watch-count", 0));
+  if (watch > 0.0) return stats_watch(ep, self, timeout, watch, watch_count);
+  Envelope resp;
+  if (!net::TcpHost::request_reply(ep, self, Envelope::of(StatsRequest{}),
+                                   &resp, timeout)) {
+    std::fprintf(stderr, "stats: no response from %s:%u\n", ep.host.c_str(),
+                 ep.port);
     return 1;
   }
   const auto* sr = std::get_if<StatsResponse>(&resp.payload);
@@ -234,6 +322,10 @@ int cmd_stats(const CliArgs& args) {
     std::fputs(obs::to_prometheus(snap).c_str(), stdout);
     return 0;
   }
+  for (const obs::SegmentLoadTable& table :
+       obs::SegmentLoadTable::from_snapshot(snap)) {
+    std::fputs(table.format().c_str(), stdout);
+  }
   if (!snap.counters.empty()) std::printf("counters:\n");
   for (const auto& [name, v] : snap.counters) {
     std::printf("  %-40s %llu\n", name.c_str(), (unsigned long long)v);
@@ -252,6 +344,148 @@ int cmd_stats(const CliArgs& args) {
                 h.quantile(0.95) * 1e3, h.quantile(0.99) * 1e3,
                 h.mean() * 1e3);
   }
+  return 0;
+}
+
+int cmd_trace_dump(const CliArgs& args) {
+  net::TcpEndpoint ep;
+  if (!parse_peer(args, "trace-dump", ep)) return 2;
+  const auto self = static_cast<NodeId>(args.get_int("id", 999999));
+  Envelope resp;
+  if (!net::TcpHost::request_reply(ep, self, Envelope::of(TraceDumpRequest{}),
+                                   &resp, args.get_double("timeout", 10.0))) {
+    std::fprintf(stderr, "trace-dump: no response from %s:%u\n",
+                 ep.host.c_str(), ep.port);
+    return 1;
+  }
+  const auto* tr = std::get_if<TraceDumpResponse>(&resp.payload);
+  if (tr == nullptr) {
+    std::fprintf(stderr, "trace-dump: unexpected reply %s\n",
+                 payload_name(resp));
+    return 1;
+  }
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fputs(tr->json.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(tr->json.data(), 1, tr->json.size(), f) != tr->json.size()) {
+    std::fprintf(stderr, "trace-dump: failed to write %s\n", out.c_str());
+    if (f != nullptr) std::fclose(f);
+    return 1;
+  }
+  std::fclose(f);
+  std::printf("trace-dump: %zu bytes of Perfetto JSON written to %s\n",
+              tr->json.size(), out.c_str());
+  return 0;
+}
+
+/// trace-selftest: drives a live ThreadCluster (real node threads + offload
+/// workers) with traced match traffic, then dumps this process's flight
+/// recorder as Perfetto JSON. CI validates the output with
+/// tools/trace_check.py — the single-process half of the acceptance story
+/// (tools/trace_smoke.sh covers the multi-process TCP half).
+int cmd_trace_selftest(const CliArgs& args) {
+  const std::string out = args.get("out", "cli_trace.json");
+  const auto subs = static_cast<SubscriptionId>(args.get_int("subs", 500));
+  const auto count = static_cast<MessageId>(args.get_int("count", 2000));
+  const int cores = static_cast<int>(args.get_int("cores", 2));
+
+  constexpr NodeId kMatcher = 100;
+  constexpr NodeId kSink = 7;
+  constexpr std::size_t kDims = 4;
+  const std::vector<Range> domains(kDims, Range{0.0, 1000.0});
+
+  obs::Recorder::set_enabled(true);
+  obs::Recorder::bind_node(1);  // play the dispatcher role on this thread
+  obs::Recorder::label_thread("cli.dispatch");
+  static const std::uint16_t publish_name =
+      obs::Recorder::intern("selftest.publish");
+  static const std::uint16_t arrive_name =
+      obs::Recorder::intern("deliver.arrive");
+
+  runtime::ThreadCluster cluster;
+  std::atomic<std::uint64_t> completed{0};
+  cluster.add_node(kSink, std::make_unique<FunctionNode>(
+                              [&](NodeId, const Envelope& env, Timestamp) {
+                                if (const auto* d =
+                                        std::get_if<Delivery>(&env.payload)) {
+                                  if (d->trace_id != 0) {
+                                    obs::Recorder::instant(arrive_name,
+                                                           d->trace_id,
+                                                           d->msg_id);
+                                  }
+                                } else if (std::holds_alternative<
+                                               MatchCompleted>(env.payload)) {
+                                  completed.fetch_add(
+                                      1, std::memory_order_relaxed);
+                                }
+                              }));
+  MatcherConfig mcfg;
+  mcfg.domains = domains;
+  mcfg.cores = cores;
+  mcfg.index_kind = IndexKind::kFlatBucket;
+  mcfg.match_batch = 8;
+  mcfg.metrics_sink = kSink;
+  mcfg.delivery_sink = kSink;
+  mcfg.load_report_interval = 10.0;
+  mcfg.gossip.round_interval = 10.0;
+  auto matcher = std::make_unique<MatcherNode>(kMatcher, mcfg);
+  matcher->set_bootstrap(bootstrap_table({kMatcher}, domains));
+  cluster.add_node(kMatcher, std::move(matcher));
+  cluster.start_all();
+
+  Rng rng(args.get_int("seed", 2011));
+  for (SubscriptionId id = 1; id <= subs; ++id) {
+    Subscription sub;
+    sub.id = id;
+    sub.subscriber = id;
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const double lo = rng.uniform(0.0, 750.0);
+      sub.ranges.push_back(Range{lo, lo + 250.0});
+    }
+    cluster.inject(kMatcher,
+                   Envelope::of(StoreSubscription{
+                       sub, static_cast<DimId>(id % kDims)}));
+  }
+  for (MessageId id = 1; id <= count; ++id) {
+    MatchRequest req;
+    req.msg.id = id;
+    for (std::size_t d = 0; d < kDims; ++d) {
+      req.msg.values.push_back(rng.uniform(0.0, 1000.0));
+    }
+    req.dim = static_cast<DimId>(id % kDims);
+    req.trace_id = (std::uint64_t{1} << 40) | id;
+    req.parent_span = (std::uint64_t{1} << 40) | id;
+    obs::ScopedSpan span(publish_name, req.trace_id, id);
+    cluster.inject(kMatcher, Envelope::of(std::move(req)));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (completed.load(std::memory_order_relaxed) < count &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  cluster.shutdown();
+
+  const std::uint64_t done = completed.load(std::memory_order_relaxed);
+  if (done < count) {
+    std::fprintf(stderr, "trace-selftest: only %llu/%llu matches completed\n",
+                 (unsigned long long)done, (unsigned long long)count);
+    return 1;
+  }
+  if (!obs::write_perfetto_file(out)) {
+    std::fprintf(stderr, "trace-selftest: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("trace-selftest: %llu traced matches through a %d-core "
+              "ThreadCluster matcher; Perfetto dump in %s (%zu threads "
+              "recorded)\n",
+              (unsigned long long)done, cores, out.c_str(),
+              obs::Recorder::thread_count());
   return 0;
 }
 
@@ -309,6 +543,27 @@ int cmd_blast(const CliArgs& args) {
   }
 
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  // Optional pre-load: file subscriptions so the publish storm actually
+  // matches and delivers something downstream.
+  const auto subs = static_cast<std::uint64_t>(args.get_int("subs", 0));
+  const double sub_width = args.get_double("sub-width", domain_len / 4.0);
+  for (std::uint64_t s = 1; s <= subs; ++s) {
+    Subscription sub;
+    sub.id = s;
+    sub.subscriber = s;
+    sub.ranges.resize(dims);
+    for (Range& r : sub.ranges) {
+      const double center = rng.uniform(0.0, domain_len);
+      r.lo = std::max(0.0, center - sub_width / 2.0);
+      r.hi = std::min(domain_len, center + sub_width / 2.0);
+    }
+    blast->ctx()->send(target, Envelope::of(ClientSubscribe{std::move(sub)}));
+  }
+  if (subs > 0) {
+    // Let the stores propagate dispatcher -> matchers before publishing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int>(args.get_double("sub-settle", 0.5) * 1e3)));
+  }
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 1; i <= count; ++i) {
     Message msg;
@@ -428,6 +683,10 @@ int main(int argc, char** argv) {
     rc = cmd_scale(args);
   } else if (cmd == "stats") {
     rc = cmd_stats(args);
+  } else if (cmd == "trace-dump") {
+    rc = cmd_trace_dump(args);
+  } else if (cmd == "trace-selftest") {
+    rc = cmd_trace_selftest(args);
   } else if (cmd == "blast") {
     rc = cmd_blast(args);
   } else {

@@ -33,10 +33,16 @@
 //   --stats-json=PATH                periodically write the node's metrics
 //                                    snapshot as JSON to PATH
 //   --stats-interval=SEC             snapshot cadence (default 5 s)
+//   --trace-json=PATH                where SIGUSR2 (and exit) dump the
+//                                    flight recorder as Perfetto JSON
+//                                    (default bluedove_trace_<id>.json)
 //
 // Live scraping: matchers and dispatchers answer StatsRequest envelopes
 // with a StatsResponse carrying their metrics registry as JSON; use
-// `bluedove_cli stats --peer=host:port` against any of them.
+// `bluedove_cli stats --peer=host:port` against any of them. They also
+// answer TraceDumpRequest (`bluedove_cli trace-dump`) with their current
+// flight-recorder contents; SIGUSR2 dumps the same trace to --trace-json
+// for roles that cannot answer envelopes (the sink).
 //
 // Example 3-matcher cluster on one machine:
 //   bluedove_noded --role=sink       --id=2    --port=7002 &
@@ -58,6 +64,8 @@
 #include "node/matcher_node.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace_export.h"
 #include "simd/range_kernel.h"
 
 using namespace bluedove;
@@ -66,6 +74,9 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
+
+volatile std::sig_atomic_t g_trace_dump = 0;
+void on_trace_signal(int) { g_trace_dump = 1; }
 
 std::vector<NodeId> parse_ids(const std::string& csv) {
   std::vector<NodeId> out;
@@ -169,6 +180,12 @@ int main(int argc, char** argv) {
     node = std::make_unique<FunctionNode>(
         [](NodeId, const Envelope& env, Timestamp) {
           if (const auto* d = std::get_if<Delivery>(&env.payload)) {
+            if (d->trace_id != 0) {
+              // Third pid on the causal trace: dispatch -> match -> deliver.
+              static const std::uint16_t arrive =
+                  obs::Recorder::intern("deliver.arrive");
+              obs::Recorder::instant(arrive, d->trace_id, d->msg_id);
+            }
             std::printf("delivery: msg=%llu sub=%llu subscriber=%llu\n",
                         (unsigned long long)d->msg_id,
                         (unsigned long long)d->sub_id,
@@ -200,6 +217,7 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGUSR2, on_trace_signal);
   host.start();
   std::printf("bluedove_noded role=%s id=%u listening on 127.0.0.1:%u\n",
               role.c_str(), id, host.port());
@@ -222,10 +240,27 @@ int main(int argc, char** argv) {
     snap.merge(host.wire_metrics().snapshot());
     return snap;
   };
+  const std::string trace_arg = args.get("trace-json", "");
+  const std::string trace_path =
+      trace_arg.empty() ? "bluedove_trace_" + std::to_string(id) + ".json"
+                        : trace_arg;
+  auto dump_trace = [&] {
+    if (obs::write_perfetto_file(trace_path)) {
+      std::printf("flight-recorder trace written to %s\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+    }
+    std::fflush(stdout);
+  };
   double since_stats = 0.0;
   while (!g_stop) {
     struct timespec ts{0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
+    if (g_trace_dump) {
+      g_trace_dump = 0;
+      dump_trace();
+    }
     if (stats_path.empty() || role == "sink") continue;
     since_stats += 0.1;
     if (since_stats >= stats_interval) {
@@ -239,5 +274,11 @@ int main(int argc, char** argv) {
     obs::write_json_file(stats_path, snapshot_now());  // final snapshot
   }
   host.stop();
+  if (!trace_arg.empty()) {
+    // Post-stop dump so the trace covers the node's full lifetime (nothing
+    // writes events after the host joined its threads). Opt-in via
+    // --trace-json so plain runs leave no files behind.
+    dump_trace();
+  }
   return 0;
 }

@@ -8,6 +8,9 @@
 #   3. determinism digest double-run (tools/determinism_check.sh)
 #   4. audit-enabled test label (invariant auditor, affinity checker)
 #   5. SIMD kernel label (vector kernels vs the scalar oracle)
+#   5b. obs label (flight recorder, trace export, segment load) and the
+#       TCP trace smoke (tools/trace_smoke.sh: 7-process cluster, merged
+#       Perfetto dump validated by tools/trace_check.py)
 #   6. ASan+UBSan suite (tools/sanitize_check.sh), then the simd label
 #      again under ASan/UBSan (gather/tail lanes are exactly where an
 #      out-of-bounds read would hide)
@@ -38,6 +41,12 @@ ctest --test-dir "${repo_root}/build" --output-on-failure -L audit
 
 echo "== simd label =="
 ctest --test-dir "${repo_root}/build" --output-on-failure -L simd
+
+echo "== obs label (recorder, trace export, segment load) =="
+ctest --test-dir "${repo_root}/build" --output-on-failure -L obs
+
+echo "== flight-recorder TCP trace smoke =="
+"${repo_root}/tools/trace_smoke.sh" "${repo_root}/build"
 
 if [[ "${fast}" == "1" ]]; then
   echo "check_all: OK (--fast: sanitizers skipped)"

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validate (and merge) BlueDove flight-recorder Perfetto JSON traces.
+
+Usage:
+  trace_check.py TRACE.json [TRACE2.json ...] [--require-cross-node]
+  trace_check.py --merge OUT.json IN1.json IN2.json [...]
+
+Validation checks, per input file:
+  * the file parses as JSON and has the Chrome trace-event shape
+    ({"traceEvents": [...]});
+  * every event carries name/ph/ts/pid/tid with sane types;
+  * per (pid, tid) track, synchronous B/E spans nest: sorted by timestamp,
+    every E closes the innermost open B of the same name.  An E with no
+    open span is a warning, not an error (the ring overwrote its B); a
+    name-mismatched E is an error;
+  * async events (ph b/e/n) carry an id.
+
+--require-cross-node additionally demands that at least one async trace id
+(cat "trace") appears under two or more distinct pids — the proof that the
+causal dispatch -> match -> deliver chain crossed a node boundary.
+
+--merge concatenates the inputs' traceEvents into OUT.json, offsetting each
+input's tids so same-numbered threads from different processes cannot
+collide, then validates the merged trace.
+
+Exit status: 0 valid, 1 validation failure, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "i", "I", "C", "b", "e", "n", "M"}
+
+
+def fail(msg):
+    print("trace_check: ERROR: " + msg, file=sys.stderr)
+
+
+def warn(msg):
+    print("trace_check: warning: " + msg, file=sys.stderr)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail("%s: %s" % (path, e))
+        return None
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        fail('%s: expected {"traceEvents": [...]}' % path)
+        return None
+    return doc
+
+
+def check_events(path, events):
+    """Returns (ok, async_pids) where async_pids maps async id -> set(pid)."""
+    ok = True
+    tracks = {}  # (pid, tid) -> [event, ...]
+    async_pids = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail("%s: event %d is not an object" % (path, i))
+            return False, async_pids
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            fail("%s: event %d has unknown ph %r" % (path, i, ph))
+            ok = False
+            continue
+        if not isinstance(ev.get("name"), str):
+            fail("%s: event %d has no name" % (path, i))
+            ok = False
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            fail("%s: event %d (%s) lacks integer pid/tid"
+                 % (path, i, ev["name"]))
+            ok = False
+            continue
+        if ph == "M":
+            continue  # metadata has no timestamp
+        if not isinstance(ev.get("ts"), (int, float)):
+            fail("%s: event %d (%s) lacks numeric ts" % (path, i, ev["name"]))
+            ok = False
+            continue
+        if ph in ("b", "e", "n"):
+            if "id" not in ev:
+                fail("%s: async event %d (%s) lacks an id"
+                     % (path, i, ev["name"]))
+                ok = False
+                continue
+            async_pids.setdefault(ev["id"], set()).add(ev["pid"])
+        if ph in ("B", "E"):
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+
+    orphans = 0
+    for (pid, tid), evs in sorted(tracks.items()):
+        evs.sort(key=lambda e: e["ts"])  # stable: preserves emit order on ties
+        stack = []
+        for ev in evs:
+            if ev["ph"] == "B":
+                stack.append(ev)
+            elif not stack:
+                orphans += 1  # ring wrap dropped the matching B
+            elif stack[-1]["name"] != ev["name"]:
+                fail(
+                    "%s: pid %d tid %d: E %r at ts=%s closes open span %r"
+                    % (path, pid, tid, ev["name"], ev["ts"],
+                       stack[-1]["name"])
+                )
+                ok = False
+                stack.pop()
+            else:
+                stack.pop()
+        if stack:
+            warn(
+                "%s: pid %d tid %d: %d span(s) still open at end of dump"
+                % (path, pid, tid, len(stack))
+            )
+    if orphans:
+        warn("%s: %d orphan span end(s) (ring wrap-around)" % (path, orphans))
+    return ok, async_pids
+
+
+def merge(out_path, in_paths):
+    merged = []
+    tid_base = 0
+    for path in in_paths:
+        doc = load(path)
+        if doc is None:
+            return 2
+        max_tid = 0
+        for ev in doc["traceEvents"]:
+            if isinstance(ev, dict) and isinstance(ev.get("tid"), int):
+                ev = dict(ev)
+                max_tid = max(max_tid, ev["tid"])
+                ev["tid"] += tid_base
+            merged.append(ev)
+        tid_base += max_tid + 1
+    try:
+        with open(out_path, "w", encoding="utf-8") as f:
+            json.dump({"displayTimeUnit": "ns", "traceEvents": merged}, f)
+    except OSError as e:
+        fail("%s: %s" % (out_path, e))
+        return 2
+    print(
+        "trace_check: merged %d events from %d file(s) into %s"
+        % (len(merged), len(in_paths), out_path)
+    )
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if args[0] == "--merge":
+        if len(args) < 3:
+            fail("--merge needs OUT.json and at least one input")
+            return 2
+        rc = merge(args[1], args[2:])
+        if rc != 0:
+            return rc
+        args = [args[1]]  # fall through: validate the merged output
+
+    require_cross_node = "--require-cross-node" in args
+    paths = [a for a in args if not a.startswith("--")]
+    if not paths:
+        fail("no trace files given")
+        return 2
+
+    all_ok = True
+    combined_async = {}
+    for path in paths:
+        doc = load(path)
+        if doc is None:
+            all_ok = False
+            continue
+        ok, async_pids = check_events(path, doc["traceEvents"])
+        all_ok = all_ok and ok
+        for aid, pids in async_pids.items():
+            combined_async.setdefault(aid, set()).update(pids)
+        if ok:
+            print(
+                "trace_check: %s: %d events OK"
+                % (path, len(doc["traceEvents"]))
+            )
+
+    if require_cross_node:
+        crossing = [a for a, p in combined_async.items() if len(p) >= 2]
+        if crossing:
+            print(
+                "trace_check: %d async trace id(s) cross node boundaries"
+                % len(crossing)
+            )
+        else:
+            fail("no async trace id spans more than one pid "
+                 "(--require-cross-node)")
+            all_ok = False
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
