@@ -219,10 +219,20 @@ int main(int argc, char** argv) {
   benchutil::note("hardware_concurrency=" + std::to_string(hw) +
                   " — speedup over cores=1 is bounded by the machine's real "
                   "core count");
+  // A 1-core box cannot measure parallel speedup — every multi-worker cell
+  // just timeslices one CPU. Flag the run as degraded and skip the
+  // speedup_* gauges entirely rather than recording sub-1.0 "speedups" as
+  // if they were measurements.
+  const bool degraded = hw <= 1;
+  if (degraded) {
+    benchutil::note(
+        "degraded: 1 hardware thread — speedup gauges suppressed");
+  }
 
   obs::MetricsSnapshot snap;
   snap.gauges["parallel.hardware_concurrency"] = static_cast<double>(hw);
   snap.gauges["parallel.requests"] = static_cast<double>(requests);
+  if (degraded) snap.gauges["parallel.degraded"] = 1.0;
 
   std::vector<std::uint64_t> sizes{subs};
   if (large) sizes.push_back(1000000);
@@ -242,7 +252,7 @@ int main(int argc, char** argv) {
       const std::string suffix =
           "cores" + std::to_string(cores) + "_subs" + std::to_string(n);
       snap.gauges["parallel.tput_" + suffix] = cell.tput;
-      snap.gauges["parallel.speedup_" + suffix] = speedup;
+      if (!degraded) snap.gauges["parallel.speedup_" + suffix] = speedup;
       snap.counters["parallel.jobs_" + suffix] =
           static_cast<std::uint64_t>(cell.exec_jobs);
       snap.counters["parallel.steals_" + suffix] =

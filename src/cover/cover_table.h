@@ -1,0 +1,260 @@
+#pragma once
+// Subscription covering (ROADMAP item 4): aggregate near-duplicate
+// hyper-cuboids into a compressed set of covering representatives so the
+// per-dimension indexes scale with the number of *distinct* predicate
+// shapes instead of raw subscriptions ("Towards Scalable Subscription
+// Aggregation...", PAPERS.md).
+//
+// The table sits between subscription registration and the index engines.
+// Arriving cuboids are clustered by a quantized geometry key (centre cell
+// per dimension); within a cluster a cuboid is admitted when
+//
+//   (a) it is contained in the group's bounding box (exact cover — free), or
+//   (b) widening the box to include it keeps the box's false-positive
+//       volume upper bound within `fp_volume_budget`:
+//         vol(bbox') - covered_lb' <= budget * vol(bbox')
+//       where covered_lb is a conservative lower bound on the volume the
+//       members truly cover (budget 0 therefore admits only duplicates and
+//       containment).
+//
+// Only the group representative (the bounding box) is inserted into the
+// SubscriptionStore / FlatBucketIndex hot path; a representative→members
+// expansion table — SoA member arena (parallel id/subscriber columns plus
+// member-major lo/hi range rows), free-list recycled — is consulted at
+// delivery time to produce concrete subscriber lists. Because a widened box
+// can admit points no member wants, every expansion re-checks the exact
+// per-member residual predicate unless the group is `uniform` (all members
+// byte-equal to the box), so delivered results stay byte-identical to the
+// uncovered system.
+//
+// Concurrency / epochs: the table is owned by the matcher's node thread;
+// every mutation and every expansion happens there, so the member arena
+// needs no internal locking. What leaks outside the node thread are the
+// representative Subscriptions themselves, which live in the shared
+// SubscriptionStore arena and are protected by the existing PR-4
+// epoch-guard/limbo machinery exactly like raw subscriptions. Representative
+// ids carry a per-slot generation (bit 63 flags a representative, then
+// 35 generation bits over 28 slot bits), so a hit surfaced from a stale
+// index snapshot can never alias a recycled group: expand() drops ids whose
+// generation no longer matches.
+//
+// Singleton pass-through: a group with one member indexes the raw
+// subscription itself (raw id, raw box). With duplicate_skew=0 workloads the
+// index contents are therefore byte-identical to the uncovered system and
+// the only per-hit overhead on the delivery path is one bit test.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "attr/subscription.h"
+#include "attr/value.h"
+#include "common/types.h"
+#include "index/subscription_index.h"
+
+namespace bluedove {
+
+struct CoverConfig {
+  bool enabled = false;
+
+  /// Maximum fraction of a representative's volume that may be
+  /// (upper-bound) false positive. 0 admits only exact duplicates and
+  /// containment; the default trades a sliver of residual-filter work for
+  /// much deeper merging of jittered near-duplicates.
+  double fp_volume_budget = 0.05;
+
+  /// Minimum overlap a non-contained candidate must have with the widened
+  /// box (intersection-with-current-box volume over widened-box volume)
+  /// before a merge is considered. The FP-volume bound alone would happily
+  /// chain *distinct* subscriptions whose union happens to be exactly
+  /// covered (two cuboids offset along one dimension have zero FP volume);
+  /// such merges compress nothing worth having and bill residual-filter
+  /// work on every delivery. Jittered near-duplicates sit well above this
+  /// floor; distinct hot-spot neighbours well below it.
+  double min_overlap = 0.5;
+
+  /// Clustering quantum as a fraction of each dimension's domain width:
+  /// cuboids whose centres fall in the same quantized cell are merge
+  /// candidates for the same groups.
+  double quantum_frac = 1.0 / 16.0;
+
+  /// How many of a cell's most recent groups an arriving cuboid probes
+  /// before starting a new group (bounds per-insert work).
+  std::size_t max_chain = 8;
+};
+
+/// One covering table per dimension set. Not thread-safe: node thread only
+/// (see file comment for why that is the whole concurrency story).
+class CoverTable {
+ public:
+  /// Bit 63 of a SubscriptionId flags a representative. Raw subscription
+  /// ids must stay below 2^63 for covering; ids that violate this are
+  /// force-grouped (never passed through) so delivery still resolves them.
+  static constexpr SubscriptionId kRepBit = 1ull << 63;
+  static bool is_rep(SubscriptionId id) { return (id & kRepBit) != 0; }
+
+  /// Index mutation the caller must apply to the dimension index to keep it
+  /// in sync (at most one erase plus one insert per table mutation).
+  struct IndexOp {
+    bool erase = false;
+    SubscriptionId erase_id = 0;
+    bool insert = false;
+    Subscription insert_sub;
+  };
+
+  enum class AddKind {
+    kNoop,         ///< duplicate id — nothing changed
+    kNewGroup,     ///< started a new group (insert: raw pass-through or rep)
+    kAbsorbed,     ///< contained in an existing box (no widening)
+    kWidened,      ///< merged by widening an existing box within budget
+    kPassthrough,  ///< dimension mismatch — indexed raw, never grouped
+  };
+
+  struct AddResult : IndexOp {
+    AddKind kind = AddKind::kNoop;
+  };
+
+  struct RemoveResult : IndexOp {
+    bool found = false;
+  };
+
+  struct ExpandStats {
+    std::uint32_t emitted = 0;
+    std::uint32_t checks = 0;  ///< residual member predicates evaluated
+    std::uint32_t rejects = 0;
+  };
+
+  /// `salt` distinguishes rep ids minted by different tables that feed the
+  /// same SubscriptionStore (one table per dimension on a matcher). Without
+  /// it, two dimensions' tables would mint the same id for (slot, gen) and
+  /// the store's by-id dedup would alias one dimension's representative box
+  /// to another's, silently dropping matches.
+  CoverTable(CoverConfig config, std::vector<Range> domains,
+             std::uint32_t salt = 0);
+
+  /// Registers a raw subscription. The returned ops keep the caller's index
+  /// holding exactly one entry per group plus the pass-throughs.
+  AddResult add(const Subscription& raw);
+
+  /// Unregisters a raw subscription. A group whose last member leaves has
+  /// its representative erased and its slot recycled (generation bumped).
+  /// Boxes never shrink on member removal; the residual filters keep
+  /// correctness and the admission bound is re-tightened conservatively.
+  RemoveResult remove(SubscriptionId id);
+
+  bool contains(SubscriptionId id) const {
+    return member_of_.count(id) != 0 || passthrough_.count(id) != 0;
+  }
+
+  /// Delivery-time expansion: appends one MatchHit per member of `rep_id`
+  /// whose exact predicate accepts `values` (all members for uniform
+  /// groups). Returns false for stale ids (dead or recycled group), which
+  /// callers treat as an empty expansion.
+  bool expand(SubscriptionId rep_id, const std::vector<Value>& values,
+              std::vector<MatchHit>& out, ExpandStats* stats = nullptr);
+
+  /// Brute-force oracle over every raw member and pass-through: the
+  /// differential reference the kCover audit and tests compare expanded
+  /// results against.
+  void collect_matches(const std::vector<Value>& values,
+                       std::vector<MatchHit>& out) const;
+
+  /// Visits every raw member (reconstructed from the arena) and
+  /// pass-through, in deterministic slot order. Segment split/merge hands
+  /// over raw subscriptions so cover sets re-partition cleanly on the
+  /// receiving matcher.
+  void for_each_member(
+      const std::function<void(const Subscription&)>& fn) const;
+
+  // --- introspection --------------------------------------------------------
+  std::size_t raw_count() const { return member_of_.size() + passthrough_.size(); }
+  std::size_t group_count() const { return live_groups_; }
+  /// Entries the caller's index holds on our behalf (groups + pass-throughs).
+  std::size_t indexed_count() const { return live_groups_ + passthrough_.size(); }
+  /// Monotonic mutation stamp: bumps on every add/remove, so callers can
+  /// tell whether the table changed between a probe and its completion
+  /// (gates the differential audit).
+  std::uint64_t mutations() const { return mutations_; }
+
+  const CoverConfig& config() const { return config_; }
+
+ private:
+  struct Group {
+    std::uint64_t key = 0;
+    std::uint64_t generation = 1;
+    std::vector<Range> bbox;
+    std::vector<std::uint32_t> members;  ///< arena slots
+    /// Conservative lower bound on the volume the members truly cover.
+    double covered_lb = 0.0;
+    bool live = false;
+    bool uniform = true;  ///< all members byte-equal to bbox → skip residuals
+    /// Singleton pass-through: the index holds the sole member's raw
+    /// subscription instead of a representative.
+    bool indexed_raw = false;
+    SubscriptionId raw_id = 0;  ///< valid while indexed_raw
+  };
+
+  struct MemberRef {
+    std::uint32_t group = 0;
+    std::uint32_t pos = 0;  ///< position in Group::members
+  };
+
+  SubscriptionId rep_id_of(std::uint32_t slot) const {
+    return kRepBit |
+           (static_cast<SubscriptionId>(salt_ & kSaltMask) << kSaltShift) |
+           ((groups_[slot].generation & kGenMask) << kSlotBits) |
+           static_cast<SubscriptionId>(slot);
+  }
+  Subscription rep_subscription(std::uint32_t slot) const;
+
+  std::uint64_t key_of(const std::vector<Range>& ranges) const;
+  double volume(const std::vector<Range>& ranges) const;
+  bool box_covers(const std::vector<Range>& bbox,
+                  const std::vector<Range>& ranges) const;
+
+  std::uint32_t alloc_member(const Subscription& raw);
+  void free_member(std::uint32_t slot);
+  void free_group(std::uint32_t slot);
+  /// Recomputes covered_lb (max single-member volume — a valid lower bound)
+  /// and the uniform flag after a member left.
+  void retighten(Group& g);
+
+  // Rep id layout: [63] rep flag | [56..62] table salt | [28..55] generation
+  // | [0..27] slot.
+  static constexpr int kSlotBits = 28;
+  static constexpr SubscriptionId kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kGenMask = (1ull << 28) - 1;
+  static constexpr int kSaltShift = 56;
+  static constexpr std::uint32_t kSaltMask = (1u << 7) - 1;
+
+  CoverConfig config_;
+  std::vector<Range> domains_;
+  std::uint32_t salt_ = 0;
+  std::size_t k_ = 0;
+
+  // Member arena, SoA: parallel columns for id/subscriber plus member-major
+  // range rows (member slot m owns m_lo_[m*k .. m*k+k)), so the residual
+  // filter walks one contiguous strip per candidate.
+  std::vector<SubscriptionId> m_id_;
+  std::vector<SubscriberId> m_subscriber_;
+  std::vector<Value> m_lo_;
+  std::vector<Value> m_hi_;
+  std::vector<std::uint32_t> free_members_;
+
+  std::vector<Group> groups_;
+  std::vector<std::uint32_t> free_groups_;
+  std::size_t live_groups_ = 0;
+
+  /// Quantized geometry key → group slots (newest last; admission probes
+  /// the most recent config_.max_chain).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> chains_;
+  std::unordered_map<SubscriptionId, MemberRef> member_of_;
+  /// Dimension-mismatched subscriptions indexed raw (kept whole so the
+  /// oracle can still evaluate them).
+  std::unordered_map<SubscriptionId, Subscription> passthrough_;
+
+  std::uint64_t mutations_ = 0;
+};
+
+}  // namespace bluedove

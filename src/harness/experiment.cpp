@@ -36,6 +36,8 @@ Deployment::Deployment(ExperimentConfig config)
   sub_wl.schema = schema_;
   sub_wl.predicate_width = config_.predicate_width;
   sub_wl.sigma = config_.sub_sigma;
+  sub_wl.duplicate_skew = config_.duplicate_skew;
+  sub_wl.duplicate_jitter = config_.duplicate_jitter;
   sub_gen_ = std::make_unique<SubscriptionGenerator>(sub_wl,
                                                      config_.seed * 3 + 1);
   MessageWorkload msg_wl;
@@ -82,6 +84,8 @@ MatcherConfig Deployment::matcher_config() const {
   cfg.metrics_sink = kMetricsSink;
   cfg.delivery_sink = kDeliverySink;
   cfg.deliver = config_.full_matching;
+  cfg.cover.enabled = config_.cover;
+  cfg.cover.fp_volume_budget = config_.cover_budget;
   return cfg;
 }
 

@@ -39,6 +39,12 @@ struct ExperimentConfig {
   double sub_sigma = 250.0;
   std::size_t msg_skewed_dims = 0;
   double msg_sigma = 250.0;
+  /// Probability a generated subscription reuses a hot template (Zipf over
+  /// the pool) instead of being drawn fresh; 0 keeps the generator stream
+  /// byte-identical to earlier seeds.
+  double duplicate_skew = 0.0;
+  /// Per-bound jitter applied to reused templates (domain units).
+  double duplicate_jitter = 0.0;
 
   // Cluster.
   std::size_t matchers = 20;
@@ -59,6 +65,13 @@ struct ExperimentConfig {
   /// charges identical work but skips the match computation, making
   /// saturation probes fast. Response-time dynamics are the same.
   bool full_matching = false;
+  /// Subscription covering (DESIGN §15): cluster near-duplicate cuboids
+  /// behind covering representatives so the indexes scale with distinct
+  /// predicate shapes; delivery expands representatives back to members
+  /// through exact residual filters.
+  bool cover = false;
+  /// False-positive volume budget for covering merges (see CoverConfig).
+  double cover_budget = 0.05;
 
   // Infrastructure timing.
   double load_report_interval = 1.0;

@@ -63,10 +63,27 @@ MatcherNode::MatcherNode(NodeId id, MatcherConfig config)
   if (config_.index_kind == IndexKind::kFlatBucket) {
     store_ = std::make_shared<SubscriptionStore>();
   }
+  if (config_.cover.enabled) {
+    cov_expansions_ = &metrics_.counter("cover.expansions");
+    cov_expanded_ = &metrics_.counter("cover.expanded_members");
+    cov_residual_checks_ = &metrics_.counter("cover.residual_checks");
+    cov_residual_rejects_ = &metrics_.counter("cover.residual_rejects");
+    cov_absorbed_ = &metrics_.counter("cover.absorbed");
+    cov_widened_ = &metrics_.counter("cover.widened");
+    cov_raw_ = &metrics_.gauge("cover.raw_subscriptions");
+    cov_reps_ = &metrics_.gauge("cover.representatives");
+    cov_ratio_ = &metrics_.gauge("cover.compression_ratio");
+  }
   sets_.resize(k);
   for (std::size_t d = 0; d < k; ++d) {
     sets_[d].index = make_index(config_.index_kind, static_cast<DimId>(d),
                                 config_.domains[d], store_);
+    if (config_.cover.enabled) {
+      // Per-dim salt: all dim indexes share this node's SubscriptionStore,
+      // so rep ids must be unique across the tables feeding it.
+      sets_[d].cover = std::make_unique<CoverTable>(
+          config_.cover, config_.domains, static_cast<std::uint32_t>(d));
+    }
     const std::string prefix = "matcher.dim" + std::to_string(d);
     sets_[d].queue_depth = &metrics_.gauge(prefix + ".queue_depth");
     sets_[d].queue_high_water = &metrics_.gauge(prefix + ".queue_high_water");
@@ -169,10 +186,24 @@ void MatcherNode::store_one(const Subscription& sub, DimId dim) {
   }
   if (dim >= dims()) return;
   DimSet& set = sets_[dim];
-  if (set.ids.insert(sub.id).second) {
-    set.index->insert(std::make_shared<const Subscription>(sub));
-    set.dirty = true;
+  if (!set.ids.insert(sub.id).second) return;
+  if (set.cover != nullptr) {
+    CoverTable::AddResult ops = set.cover->add(sub);
+    if (ops.kind == CoverTable::AddKind::kAbsorbed) {
+      cov_absorbed_->inc();
+    } else if (ops.kind == CoverTable::AddKind::kWidened) {
+      cov_widened_->inc();
+    }
+    if (ops.erase) set.index->erase(ops.erase_id);
+    if (ops.insert) {
+      set.index->insert(
+          std::make_shared<const Subscription>(std::move(ops.insert_sub)));
+    }
+    if (ops.erase || ops.insert) set.dirty = true;
+    return;
   }
+  set.index->insert(std::make_shared<const Subscription>(sub));
+  set.dirty = true;
 }
 
 bool MatcherNode::remove_one(SubscriptionId id, DimId dim) {
@@ -184,6 +215,19 @@ bool MatcherNode::remove_one(SubscriptionId id, DimId dim) {
   if (dim >= dims()) return false;
   DimSet& set = sets_[dim];
   if (set.ids.erase(id) == 0) return false;
+  if (set.cover != nullptr) {
+    // A member leaving a multi-member group needs no index change: the
+    // representative stays and the live expansion table already excludes
+    // the member (even for probes against stale snapshots).
+    CoverTable::RemoveResult ops = set.cover->remove(id);
+    if (ops.erase) set.index->erase(ops.erase_id);
+    if (ops.insert) {
+      set.index->insert(
+          std::make_shared<const Subscription>(std::move(ops.insert_sub)));
+    }
+    if (ops.erase || ops.insert) set.dirty = true;
+    return ops.found;
+  }
   set.dirty = true;
   return set.index->erase(id);
 }
@@ -289,6 +333,7 @@ void MatcherNode::service_batch(std::vector<MatchRequest> reqs) {
   auto job = std::make_shared<ServiceJob>();
   job->reqs = std::move(reqs);
   job->service_start = service_start;
+  if (set.cover != nullptr) job->cover_stamp = set.cover->mutations();
 
   // Which index views this service probes: the live indexes on the inline
   // path (simulator / no pool — probe and mutation share the node thread),
@@ -375,6 +420,63 @@ void MatcherNode::complete_batch(ServiceJob& job) {
   const double duration = ctx_->now() - job.service_start;
   busy_seconds_in_window_ += duration;
   done_set.segload_service_seconds->add(duration);
+  // Delivery-time expansion: representatives surfaced by the probe become
+  // concrete member hits, with the exact per-member residual re-checked for
+  // merged (non-uniform) covers. Residual comparisons are charged into the
+  // request's work units before the batch totals are taken.
+  const bool covered = done_set.cover != nullptr && !job.offsets.empty();
+  if (covered) {
+    expand_hits_.clear();
+    expand_offsets_.clear();
+    expand_offsets_.reserve(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      expand_offsets_.push_back(
+          static_cast<std::uint32_t>(expand_hits_.size()));
+      for (std::uint32_t h = job.offsets[i]; h < job.offsets[i + 1]; ++h) {
+        const MatchHit& hit = job.hits[h];
+        if (!CoverTable::is_rep(hit.id)) {
+          expand_hits_.push_back(hit);
+          continue;
+        }
+        CoverTable::ExpandStats es;
+        done_set.cover->expand(hit.id, job.reqs[i].msg.values, expand_hits_,
+                               &es);
+        cov_expansions_->inc();
+        cov_expanded_->inc(es.emitted);
+        cov_residual_checks_->inc(es.checks);
+        cov_residual_rejects_->inc(es.rejects);
+        job.per_req_work[i] += static_cast<double>(es.checks);
+      }
+    }
+    expand_offsets_.push_back(static_cast<std::uint32_t>(expand_hits_.size()));
+    // Differential oracle (AuditKind::kCover): periodically replay one
+    // probe of the batch against the raw uncovered member set. Only valid
+    // when no cover mutation landed between probe and completion, i.e. the
+    // probed view and the live expansion table describe the same members.
+    if (obs::Audit::enabled() &&
+        job.cover_stamp == done_set.cover->mutations() &&
+        (++cover_audit_tick_ & 0x3f) == 0) {
+      std::vector<MatchHit> oracle;
+      done_set.cover->collect_matches(job.reqs[0].msg.values, oracle);
+      std::vector<MatchHit> got(expand_hits_.begin() + expand_offsets_[0],
+                                expand_hits_.begin() + expand_offsets_[1]);
+      auto by_id = [](const MatchHit& a, const MatchHit& b) {
+        return a.id != b.id ? a.id < b.id : a.subscriber < b.subscriber;
+      };
+      std::sort(oracle.begin(), oracle.end(), by_id);
+      std::sort(got.begin(), got.end(), by_id);
+      auto same = [](const MatchHit& a, const MatchHit& b) {
+        return a.id == b.id && a.subscriber == b.subscriber;
+      };
+      BD_AUDIT(obs::AuditKind::kCover,
+               std::equal(got.begin(), got.end(), oracle.begin(),
+                          oracle.end(), same),
+               "covered match diverged from raw replay: msg " +
+                   std::to_string(job.reqs[0].msg.id) + " expanded " +
+                   std::to_string(got.size()) + " raw " +
+                   std::to_string(oracle.size()));
+    }
+  }
   double batch_work = 0.0;
   for (const double w : job.per_req_work) batch_work += w;
   done_set.segload_work->add(batch_work);
@@ -395,9 +497,15 @@ void MatcherNode::complete_batch(ServiceJob& job) {
     MatchRequest& req = job.reqs[i];
     req.hops.match_end = service_end;
     m_match_lat_->record(per_msg_latency);
+    // Covered services count (and deliver) the expanded member hits, so
+    // match_count and the delivered sets stay byte-identical to the
+    // uncovered system.
+    const std::vector<MatchHit>& dim_hits = covered ? expand_hits_ : job.hits;
+    const std::vector<std::uint32_t>& dim_offsets =
+        covered ? expand_offsets_ : job.offsets;
     std::uint32_t match_count = 0;
     if (!job.offsets.empty()) {
-      match_count += job.offsets[i + 1] - job.offsets[i];
+      match_count += dim_offsets[i + 1] - dim_offsets[i];
       match_count += job.wide_offsets[i + 1] - job.wide_offsets[i];
     }
     if (deliver && match_count != 0) {
@@ -417,8 +525,8 @@ void MatcherNode::complete_batch(ServiceJob& job) {
         m_deliveries_->inc();
         ctx_->send(config_.delivery_sink, Envelope::of(std::move(d)));
       };
-      for (std::uint32_t h = job.offsets[i]; h < job.offsets[i + 1]; ++h) {
-        send_one(job.hits[h]);
+      for (std::uint32_t h = dim_offsets[i]; h < dim_offsets[i + 1]; ++h) {
+        send_one(dim_hits[h]);
       }
       for (std::uint32_t h = job.wide_offsets[i]; h < job.wide_offsets[i + 1];
            ++h) {
@@ -472,7 +580,10 @@ DimLoad MatcherNode::snapshot_dim(const DimSet& set) const {
   load.matching_rate = static_cast<double>(set.matched_in_window) /
                        config_.load_report_interval;
   load.service_time = set.ewma_service_time;
-  load.subscriptions = set.index->size();
+  // Load balancing weighs raw subscriptions, not compressed index entries:
+  // a covered matcher still owns (and delivers to) every member.
+  load.subscriptions =
+      set.cover != nullptr ? set.cover->raw_count() : set.index->size();
   load.work_rate = set.work_in_window / config_.load_report_interval;
   return load;
 }
@@ -481,11 +592,26 @@ void MatcherNode::refresh_segload_gauges() {
   const MatcherState* mine = gossiper_.self_state();
   for (std::size_t d = 0; d < dims(); ++d) {
     DimSet& set = sets_[d];
-    set.segload_subs->set(static_cast<double>(set.index->size()));
+    set.segload_subs->set(static_cast<double>(
+        set.cover != nullptr ? set.cover->raw_count() : set.index->size()));
     if (mine != nullptr && d < mine->segments.size()) {
       set.segload_lo->set(mine->segments[d].lo);
       set.segload_hi->set(mine->segments[d].hi);
     }
+  }
+  if (config_.cover.enabled) {
+    std::size_t raw = 0;
+    std::size_t indexed = 0;
+    for (const DimSet& set : sets_) {
+      if (set.cover == nullptr) continue;
+      raw += set.cover->raw_count();
+      indexed += set.cover->indexed_count();
+    }
+    cov_raw_->set(static_cast<double>(raw));
+    cov_reps_->set(static_cast<double>(indexed));
+    cov_ratio_->set(indexed > 0 ? static_cast<double>(raw) /
+                                      static_cast<double>(indexed)
+                                : 1.0);
   }
 }
 
@@ -541,16 +667,31 @@ void MatcherNode::report_load() {
 // Elasticity: split on join, merge on leave (paper §III-C)
 // --------------------------------------------------------------------------
 
+void MatcherNode::for_each_stored(
+    DimId dim, const std::function<void(const Subscription&)>& fn) const {
+  const DimSet& set = sets_[dim];
+  if (set.cover != nullptr) {
+    set.cover->for_each_member(fn);
+  } else {
+    set.index->for_each([&](const SubPtr& sub) { fn(*sub); });
+  }
+}
+
 Value MatcherNode::split_boundary(DimId dim, const Range& segment) const {
+  const std::size_t stored = sets_[dim].cover != nullptr
+                                 ? sets_[dim].cover->raw_count()
+                                 : sets_[dim].index->size();
   if (config_.split_policy == MatcherConfig::SplitPolicy::kMedian &&
-      sets_[dim].index->size() >= 8) {
-    // Median of the stored predicates' centres, clipped to the segment, so
-    // each half inherits about half of the matching load. Keep the cut
-    // strictly inside the segment (a degenerate sliver helps no one).
+      stored >= 8) {
+    // Median of the stored (raw) predicates' centres, clipped to the
+    // segment, so each half inherits about half of the matching load. Keep
+    // the cut strictly inside the segment (a degenerate sliver helps no
+    // one).
     std::vector<Value> centers;
-    centers.reserve(sets_[dim].index->size());
-    sets_[dim].index->for_each([&](const SubPtr& sub) {
-      const Range clipped = sub->range(dim).intersect(segment);
+    centers.reserve(stored);
+    for_each_stored(dim, [&](const Subscription& sub) {
+      if (dim >= sub.dimensions()) return;
+      const Range clipped = sub.range(dim).intersect(segment);
       if (!clipped.empty()) centers.push_back(0.5 * (clipped.lo + clipped.hi));
     });
     if (centers.size() >= 8) {
@@ -581,9 +722,13 @@ void MatcherNode::handle_split(NodeId /*from*/, const SplitCommand& msg) {
   handover.dim = msg.dim;
   handover.newcomer_segment = upper;
   std::vector<SubscriptionId> to_remove;
-  sets_[msg.dim].index->for_each([&](const SubPtr& sub) {
-    if (sub->range(msg.dim).overlaps(upper)) handover.subs.push_back(*sub);
-    if (!sub->range(msg.dim).overlaps(lower)) to_remove.push_back(sub->id);
+  // Raw subscriptions partition, not representatives: the newcomer re-covers
+  // its share on arrival, so a box never straddles a segment boundary it
+  // shouldn't.
+  for_each_stored(msg.dim, [&](const Subscription& sub) {
+    if (msg.dim >= sub.dimensions()) return;
+    if (sub.range(msg.dim).overlaps(upper)) handover.subs.push_back(sub);
+    if (!sub.range(msg.dim).overlaps(lower)) to_remove.push_back(sub.id);
   });
   for (SubscriptionId id : to_remove) remove_one(id, msg.dim);
 
@@ -661,8 +806,9 @@ void MatcherNode::handle_leave() {
     HandoverMerge handover;
     handover.dim = static_cast<DimId>(d);
     handover.merged_segment = merged;
-    sets_[d].index->for_each(
-        [&](const SubPtr& sub) { handover.subs.push_back(*sub); });
+    for_each_stored(static_cast<DimId>(d), [&](const Subscription& sub) {
+      handover.subs.push_back(sub);
+    });
     ctx_->send(neighbor, Envelope::of(std::move(handover)));
   }
 
@@ -709,6 +855,14 @@ void MatcherNode::handle_trace_dump(NodeId from) {
 
 std::size_t MatcherNode::set_size(DimId dim) const {
   return dim < dims() ? sets_[dim].index->size() : 0;
+}
+
+std::size_t MatcherNode::raw_set_size(DimId dim) const {
+  return dim < dims() ? sets_[dim].ids.size() : 0;
+}
+
+const CoverTable* MatcherNode::cover_table(DimId dim) const {
+  return dim < dims() ? sets_[dim].cover.get() : nullptr;
 }
 
 std::size_t MatcherNode::queue_length(DimId dim) const {

@@ -17,6 +17,7 @@
 #include "common/affinity.h"
 #include "common/types.h"
 #include "core/partition_strategy.h"
+#include "cover/cover_table.h"
 #include "gossip/gossiper.h"
 #include "index/subscription_index.h"
 #include "net/transport.h"
@@ -70,6 +71,13 @@ struct MatcherConfig {
 
   /// Fixed per-message overhead in work units (parse, queue, hand-off).
   double base_match_work = 25.0;
+
+  /// Subscription covering (src/cover): when enabled, each dimension set
+  /// aggregates near-duplicate cuboids and indexes only covering
+  /// representatives; delivery expands representatives back into exact
+  /// member lists. The wide set is never covered (it is tiny and fully
+  /// replicated).
+  CoverConfig cover;
 };
 
 class MatcherNode final : public Node {
@@ -87,6 +95,10 @@ class MatcherNode final : public Node {
   NodeId id() const { return id_; }
   const Gossiper& gossiper() const { return gossiper_; }
   std::size_t set_size(DimId dim) const;
+  /// Raw subscriptions registered on `dim` (== set_size when covering is
+  /// off; >= set_size when the cover table compressed the set).
+  std::size_t raw_set_size(DimId dim) const;
+  const CoverTable* cover_table(DimId dim) const;
   std::size_t wide_set_size() const { return wide_ids_.size(); }
   std::size_t queue_length(DimId dim) const;
   std::size_t total_queued() const;
@@ -136,6 +148,10 @@ class MatcherNode final : public Node {
     bool dirty = true;
     std::shared_ptr<const SubscriptionIndex> snapshot;
     std::shared_ptr<const void> snapshot_guard;
+    /// Covering layer (config.cover.enabled): raw subscriptions register
+    /// here; the index above holds only representatives + pass-throughs.
+    /// Node-thread-only, like every other mutation of this struct.
+    std::unique_ptr<CoverTable> cover;
   };
 
   /// Shared state for one in-flight service: built on the node thread,
@@ -151,6 +167,10 @@ class MatcherNode final : public Node {
     /// Exact work units attributable to reqs[i] (base cost plus its own
     /// probe counters), independent of how the batch was packed.
     std::vector<double> per_req_work;
+    /// Cover-table mutation stamp at probe time; the kCover differential
+    /// audit only replays when the table is still at this stamp at
+    /// completion (i.e. the probed view and the live members agree).
+    std::uint64_t cover_stamp = 0;
   };
 
   std::size_t dims() const { return sets_.size(); }
@@ -202,6 +222,12 @@ class MatcherNode final : public Node {
 
   void store_one(const Subscription& sub, DimId dim);
   bool remove_one(SubscriptionId id, DimId dim);
+  /// Visits every raw subscription stored on `dim`: cover-table members
+  /// when covering is on (so split/merge hand over raw subscriptions and
+  /// cover sets re-partition cleanly), index entries otherwise.
+  void for_each_stored(DimId dim,
+                       const std::function<void(const Subscription&)>& fn)
+      const;
 
   NodeId id_;
   MatcherConfig config_;
@@ -216,6 +242,17 @@ class MatcherNode final : public Node {
   obs::Counter* m_stats_reqs_ = nullptr;  ///< StatsRequest scrapes answered
   obs::LatencyHistogram* m_queue_lat_ = nullptr;  ///< enqueue -> match start
   obs::LatencyHistogram* m_match_lat_ = nullptr;  ///< match start -> end
+  // cover.* instruments; registered (and non-null) only when covering is
+  // enabled so uncovered snapshots stay byte-identical to before.
+  obs::Counter* cov_expansions_ = nullptr;     ///< representative hits expanded
+  obs::Counter* cov_expanded_ = nullptr;       ///< member deliveries produced
+  obs::Counter* cov_residual_checks_ = nullptr;
+  obs::Counter* cov_residual_rejects_ = nullptr;
+  obs::Counter* cov_absorbed_ = nullptr;       ///< adds contained in a box
+  obs::Counter* cov_widened_ = nullptr;        ///< adds that widened a box
+  obs::Gauge* cov_raw_ = nullptr;
+  obs::Gauge* cov_reps_ = nullptr;
+  obs::Gauge* cov_ratio_ = nullptr;            ///< raw / indexed entries
   Gossiper gossiper_;
   bool has_bootstrap_ = false;
   ClusterTable bootstrap_;
@@ -234,6 +271,12 @@ class MatcherNode final : public Node {
   std::vector<MatchScratch> scratch_;
   std::shared_ptr<const SubscriptionIndex> wide_snapshot_;
   bool wide_dirty_ = true;
+
+  /// Delivery-time expansion staging (node thread only): per-batch expanded
+  /// hits and offsets, mirroring ServiceJob::hits/offsets post-expansion.
+  std::vector<MatchHit> expand_hits_;
+  std::vector<std::uint32_t> expand_offsets_;
+  std::uint64_t cover_audit_tick_ = 0;  ///< samples the kCover differential
 
   int busy_cores_ = 0;
   std::size_t next_queue_ = 0;  ///< round-robin pointer across dim queues

@@ -51,6 +51,8 @@ const char* to_string(AuditKind kind) {
       return "queue-accounting";
     case AuditKind::kSimdKernel:
       return "simd-kernel";
+    case AuditKind::kCover:
+      return "cover";
     default:
       return "unknown";
   }

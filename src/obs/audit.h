@@ -26,6 +26,11 @@
 //                   reference kernel (sampled differential cross-check in
 //                   FlatBucketIndex::probe whenever a wide kernel is
 //                   active)
+//   kCover          a covered match (compressed representative probe +
+//                   delivery-time expansion) agrees with a brute-force
+//                   replay against the raw uncovered subscription set
+//                   (sampled differential in MatcherNode::complete_batch
+//                   when covering is enabled)
 //
 // The determinism digest is the complementary whole-run check: the
 // simulator hashes its delivered event stream (time, endpoints, payload
@@ -48,7 +53,8 @@ enum class AuditKind : int {
   kStoreAccounting = 2,
   kQueueAccounting = 3,
   kSimdKernel = 4,
-  kCount = 5,
+  kCover = 5,
+  kCount = 6,
 };
 
 const char* to_string(AuditKind kind);

@@ -1,6 +1,7 @@
 #include "workload/generators.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bluedove {
 
@@ -13,9 +14,40 @@ SubscriptionGenerator::SubscriptionGenerator(SubscriptionWorkload workload,
     const Range domain = workload_.schema.domain(static_cast<DimId>(d));
     centers_.emplace_back(hotspot_mean(domain, d, k), workload_.sigma, domain);
   }
+  if (workload_.duplicate_skew > 0.0 && workload_.duplicate_templates > 0) {
+    // Independent stream (NOT split from rng_, which would advance it):
+    // the main stream stays byte-identical whether or not templates exist.
+    Rng template_rng(seed ^ 0x7e317a7e5ULL);
+    templates_.reserve(workload_.duplicate_templates);
+    for (std::size_t t = 0; t < workload_.duplicate_templates; ++t) {
+      std::vector<Range> ranges;
+      ranges.reserve(k);
+      for (std::size_t d = 0; d < k; ++d) {
+        const Range domain = workload_.schema.domain(static_cast<DimId>(d));
+        const double center = centers_[d].sample(template_rng);
+        const double half = 0.5 * workload_.predicate_width;
+        Range r{std::max(domain.lo, center - half),
+                std::min(domain.hi, center + half)};
+        if (r.empty()) {
+          r = Range{domain.lo, std::min(domain.hi, domain.lo + 1.0)};
+        }
+        ranges.push_back(r);
+      }
+      templates_.push_back(std::move(ranges));
+    }
+    // Zipf(s) rank CDF over the pool, sampled by binary search.
+    zipf_cdf_.reserve(templates_.size());
+    double total = 0.0;
+    for (std::size_t r = 1; r <= templates_.size(); ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r),
+                              workload_.duplicate_zipf_s);
+      zipf_cdf_.push_back(total);
+    }
+    for (double& c : zipf_cdf_) c /= total;
+  }
 }
 
-Subscription SubscriptionGenerator::next() {
+Subscription SubscriptionGenerator::fresh() {
   Subscription sub;
   sub.id = next_id_++;
   sub.subscriber = sub.id;
@@ -27,6 +59,39 @@ Subscription SubscriptionGenerator::next() {
     const double half = 0.5 * workload_.predicate_width;
     Range r{std::max(domain.lo, center - half),
             std::min(domain.hi, center + half)};
+    if (r.empty()) r = Range{domain.lo, std::min(domain.hi, domain.lo + 1.0)};
+    sub.ranges.push_back(r);
+  }
+  return sub;
+}
+
+Subscription SubscriptionGenerator::next() {
+  // The duplicate_skew == 0 path must consume exactly the randomness it
+  // always did (short-circuit before the coin flip), so existing runs stay
+  // byte-identical.
+  if (workload_.duplicate_skew <= 0.0 || templates_.empty() ||
+      rng_.next_double() >= workload_.duplicate_skew) {
+    return fresh();
+  }
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(),
+                                   rng_.next_double());
+  const std::size_t rank = std::min(
+      static_cast<std::size_t>(it - zipf_cdf_.begin()), templates_.size() - 1);
+  Subscription sub;
+  sub.id = next_id_++;
+  sub.subscriber = sub.id;
+  const std::size_t k = workload_.schema.dimensions();
+  sub.ranges.reserve(k);
+  const double jitter = workload_.duplicate_jitter;
+  for (std::size_t d = 0; d < k; ++d) {
+    const Range domain = workload_.schema.domain(static_cast<DimId>(d));
+    Range r = templates_[rank][d];
+    if (jitter > 0.0) {
+      r.lo = std::clamp(r.lo + rng_.uniform(-jitter, jitter), domain.lo,
+                        domain.hi);
+      r.hi = std::clamp(r.hi + rng_.uniform(-jitter, jitter), domain.lo,
+                        domain.hi);
+    }
     if (r.empty()) r = Range{domain.lo, std::min(domain.hi, domain.lo + 1.0)};
     sub.ranges.push_back(r);
   }

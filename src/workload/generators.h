@@ -20,6 +20,17 @@ struct SubscriptionWorkload {
   AttributeSchema schema;
   double predicate_width = 250.0;
   double sigma = 250.0;  ///< cropped-normal stdev of predicate centres
+
+  /// Template-reuse skew, for covering workloads (ISSUE 8): with this
+  /// probability the next subscription re-uses one of `duplicate_templates`
+  /// pre-drawn template cuboids — template rank Zipf(duplicate_zipf_s)
+  /// distributed, each bound jittered by U(-duplicate_jitter,
+  /// +duplicate_jitter) and clamped to the domain. 0 (the default) draws no
+  /// extra randomness anywhere, keeping existing figure runs byte-identical.
+  double duplicate_skew = 0.0;
+  std::size_t duplicate_templates = 1024;
+  double duplicate_zipf_s = 1.2;
+  double duplicate_jitter = 0.0;
 };
 
 class SubscriptionGenerator {
@@ -35,10 +46,16 @@ class SubscriptionGenerator {
   const SubscriptionWorkload& workload() const { return workload_; }
 
  private:
+  Subscription fresh();
+
   SubscriptionWorkload workload_;
   std::vector<CroppedNormal> centers_;  ///< one per dimension
   Rng rng_;
   SubscriptionId next_id_ = 1;
+  /// Template pool + Zipf rank CDF; populated only when duplicate_skew > 0
+  /// (from an independent rng, so the main stream stays untouched).
+  std::vector<std::vector<Range>> templates_;
+  std::vector<double> zipf_cdf_;
 };
 
 struct MessageWorkload {

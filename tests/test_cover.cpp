@@ -1,0 +1,380 @@
+// Subscription-covering suite (ctest label: cover).
+//
+// Exercises the aggregation layer of DESIGN.md §15 at two levels:
+//   1. CoverTable unit semantics — containment absorption, budgeted
+//      widening, residual-filter exactness, removal/recycling — each pinned
+//      against a brute-force oracle over the raw subscription set, and
+//   2. whole-deployment differentials — delivered sets, split/merge churn
+//      under the kCover audit, and the determinism digest must all be
+//      indistinguishable from the uncovered system.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cover/cover_table.h"
+#include "harness/experiment.h"
+#include "index/subscription_index.h"
+#include "obs/audit.h"
+#include "workload/generators.h"
+
+namespace bluedove {
+namespace {
+
+using obs::Audit;
+using obs::AuditKind;
+
+std::vector<Range> domains2() { return {Range{0.0, 100.0}, Range{0.0, 100.0}}; }
+
+Subscription make_sub(SubscriptionId id, std::vector<Range> ranges) {
+  Subscription sub;
+  sub.id = id;
+  sub.subscriber = id;
+  sub.ranges = std::move(ranges);
+  return sub;
+}
+
+std::vector<MatchHit> sorted(std::vector<MatchHit> hits) {
+  std::sort(hits.begin(), hits.end(),
+            [](const MatchHit& a, const MatchHit& b) { return a.id < b.id; });
+  return hits;
+}
+
+// ---------------------------------------------------------------------------
+// CoverTable unit semantics
+// ---------------------------------------------------------------------------
+
+TEST(CoverTable, DuplicatesCollapseToOneRepresentative) {
+  CoverConfig cc;
+  cc.enabled = true;
+  CoverTable table(cc, domains2());
+  const std::vector<Range> box{{10.0, 20.0}, {30.0, 40.0}};
+
+  // First member passes through raw: the index must be byte-identical to
+  // the uncovered system while nothing is actually aggregated.
+  const auto first = table.add(make_sub(1, box));
+  EXPECT_EQ(first.kind, CoverTable::AddKind::kNewGroup);
+  ASSERT_TRUE(first.insert);
+  EXPECT_FALSE(first.erase);
+  EXPECT_EQ(first.insert_sub.id, 1u);
+
+  // Second duplicate upgrades the singleton: raw entry out, representative
+  // in, and the rep id carries the flag bit.
+  const auto second = table.add(make_sub(2, box));
+  EXPECT_EQ(second.kind, CoverTable::AddKind::kAbsorbed);
+  ASSERT_TRUE(second.erase);
+  EXPECT_EQ(second.erase_id, 1u);
+  ASSERT_TRUE(second.insert);
+  EXPECT_TRUE(CoverTable::is_rep(second.insert_sub.id));
+  const SubscriptionId rep = second.insert_sub.id;
+
+  for (SubscriptionId id = 3; id <= 10; ++id) {
+    const auto more = table.add(make_sub(id, box));
+    EXPECT_EQ(more.kind, CoverTable::AddKind::kAbsorbed);
+    EXPECT_FALSE(more.insert);  // box unchanged: index untouched
+    EXPECT_FALSE(more.erase);
+  }
+  EXPECT_EQ(table.raw_count(), 10u);
+  EXPECT_EQ(table.group_count(), 1u);
+  EXPECT_EQ(table.indexed_count(), 1u);
+
+  // Uniform group: expansion emits every member without residual checks.
+  std::vector<MatchHit> hits;
+  CoverTable::ExpandStats stats;
+  EXPECT_TRUE(table.expand(rep, {15.0, 35.0}, hits, &stats));
+  EXPECT_EQ(hits.size(), 10u);
+  EXPECT_EQ(stats.emitted, 10u);
+  EXPECT_EQ(stats.checks, 0u);
+}
+
+TEST(CoverTable, BudgetZeroRejectsNonNestedNeighbours) {
+  CoverConfig cc;
+  cc.enabled = true;
+  cc.fp_volume_budget = 0.0;
+  CoverTable table(cc, domains2());
+  table.add(make_sub(1, {{10.0, 20.0}, {10.0, 20.0}}));
+  // Contained: still admitted at budget 0 (exact cover is free).
+  const auto nested = table.add(make_sub(2, {{12.0, 18.0}, {12.0, 18.0}}));
+  EXPECT_EQ(nested.kind, CoverTable::AddKind::kAbsorbed);
+  // Overlapping but not nested: widening would introduce false-positive
+  // volume, which budget 0 forbids — a new group starts instead.
+  const auto shifted = table.add(make_sub(3, {{13.0, 23.0}, {13.0, 23.0}}));
+  EXPECT_EQ(shifted.kind, CoverTable::AddKind::kNewGroup);
+  EXPECT_EQ(table.group_count(), 2u);
+}
+
+TEST(CoverTable, WidenedGroupResidualFilterIsExact) {
+  CoverConfig cc;
+  cc.enabled = true;
+  cc.fp_volume_budget = 0.25;
+  CoverTable table(cc, domains2());
+  table.add(make_sub(1, {{10.0, 20.0}, {10.0, 20.0}}));
+  const auto merged = table.add(make_sub(2, {{11.0, 21.0}, {10.0, 20.0}}));
+  ASSERT_EQ(merged.kind, CoverTable::AddKind::kWidened);
+  ASSERT_TRUE(merged.insert);
+  const SubscriptionId rep = merged.insert_sub.id;
+  // The widened box spans [10,21) on dim 0 — points inside the box but
+  // outside one member must be filtered back out at expansion.
+  std::vector<MatchHit> hits;
+  CoverTable::ExpandStats stats;
+  ASSERT_TRUE(table.expand(rep, {10.5, 15.0}, hits, &stats));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(stats.rejects, 1u);
+
+  hits.clear();
+  ASSERT_TRUE(table.expand(rep, {20.5, 15.0}, hits, nullptr));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 2u);
+
+  hits.clear();
+  ASSERT_TRUE(table.expand(rep, {15.0, 15.0}, hits, nullptr));
+  EXPECT_EQ(hits.size(), 2u);  // point in both members
+}
+
+TEST(CoverTable, RemoveCoveredMemberAndRepRecycling) {
+  CoverConfig cc;
+  cc.enabled = true;
+  CoverTable table(cc, domains2());
+  const std::vector<Range> box{{40.0, 50.0}, {40.0, 50.0}};
+  table.add(make_sub(1, box));
+  const auto upgraded = table.add(make_sub(2, box));
+  const SubscriptionId rep = upgraded.insert_sub.id;
+
+  // Removing one of two members changes no index entry: the live expansion
+  // table stops emitting it immediately, even for stale-snapshot probes.
+  const auto mid = table.remove(1);
+  EXPECT_TRUE(mid.found);
+  EXPECT_FALSE(mid.erase);
+  std::vector<MatchHit> hits;
+  ASSERT_TRUE(table.expand(rep, {45.0, 45.0}, hits, nullptr));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 2u);
+
+  // Last member out: the representative is erased and the slot recycled
+  // with a bumped generation, so the old rep id reads as stale forever.
+  const auto last = table.remove(2);
+  EXPECT_TRUE(last.found);
+  ASSERT_TRUE(last.erase);
+  EXPECT_EQ(last.erase_id, rep);
+  EXPECT_EQ(table.raw_count(), 0u);
+  hits.clear();
+  EXPECT_FALSE(table.expand(rep, {45.0, 45.0}, hits, nullptr));
+  table.add(make_sub(3, box));
+  const auto reused = table.add(make_sub(4, box));
+  EXPECT_NE(reused.insert_sub.id, rep) << "recycled slot must not alias";
+  hits.clear();
+  EXPECT_FALSE(table.expand(rep, {45.0, 45.0}, hits, nullptr));
+
+  EXPECT_FALSE(table.remove(999).found);
+}
+
+// Randomized differential: a covered FlatBucket index (reps + expansion +
+// residuals) must produce exactly the uncovered match sets across a skewed
+// workload with interleaved unsubscribes.
+TEST(CoverTable, RandomizedDifferentialAgainstUncoveredIndex) {
+  const AttributeSchema schema = AttributeSchema::uniform(4, 1000.0);
+  SubscriptionWorkload wl;
+  wl.schema = schema;
+  wl.duplicate_skew = 0.9;
+  wl.duplicate_templates = 64;
+  wl.duplicate_jitter = 2.0;
+  SubscriptionGenerator gen(wl, 17);
+
+  CoverConfig cc;
+  cc.enabled = true;
+  CoverTable table(cc, {schema.domain(0), schema.domain(1), schema.domain(2),
+                        schema.domain(3)});
+  auto covered = make_index(IndexKind::kFlatBucket, 0, schema.domain(0));
+  auto uncovered = make_index(IndexKind::kFlatBucket, 0, schema.domain(0));
+
+  auto apply = [&](const CoverTable::IndexOp& op) {
+    if (op.erase) covered->erase(op.erase_id);
+    if (op.insert) {
+      covered->insert(std::make_shared<const Subscription>(op.insert_sub));
+    }
+  };
+  std::vector<Subscription> subs = gen.batch(3000);
+  for (const Subscription& sub : subs) {
+    apply(table.add(sub));
+    uncovered->insert(std::make_shared<const Subscription>(sub));
+  }
+  // Unsubscribe every 7th — some pass-throughs, some covered members.
+  for (std::size_t i = 0; i < subs.size(); i += 7) {
+    apply(table.remove(subs[i].id));
+    uncovered->erase(subs[i].id);
+  }
+  ASSERT_LT(table.indexed_count(), table.raw_count());
+  EXPECT_EQ(covered->size(), table.indexed_count());
+
+  MessageWorkload mwl;
+  mwl.schema = schema;
+  MessageGenerator mgen(mwl, 23);
+  WorkCounter wc;
+  std::uint64_t matched = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Message msg = mgen.next();
+    std::vector<MatchHit> want;
+    uncovered->match_hits(msg, want, wc);
+    std::vector<MatchHit> raw;
+    covered->match_hits(msg, raw, wc);
+    std::vector<MatchHit> got;
+    for (const MatchHit& hit : raw) {
+      if (CoverTable::is_rep(hit.id)) {
+        ASSERT_TRUE(table.expand(hit.id, msg.values, got, nullptr));
+      } else {
+        got.push_back(hit);
+      }
+    }
+    ASSERT_EQ(sorted(got), sorted(want)) << "message " << i;
+    // The oracle the kCover audit replays agrees with both.
+    std::vector<MatchHit> oracle;
+    table.collect_matches(msg.values, oracle);
+    ASSERT_EQ(sorted(oracle), sorted(want)) << "message " << i;
+    matched += want.size();
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-deployment differentials
+// ---------------------------------------------------------------------------
+
+ExperimentConfig cover_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.matchers = 4;
+  cfg.dispatchers = 1;
+  cfg.subscriptions = 1500;
+  cfg.dims = 4;
+  cfg.seed = seed;
+  cfg.full_matching = true;
+  cfg.index_kind = IndexKind::kFlatBucket;
+  cfg.duplicate_skew = 0.8;
+  cfg.duplicate_jitter = 2.0;
+  return cfg;
+}
+
+using DeliveryKey = std::tuple<MessageId, SubscriptionId, SubscriberId>;
+
+std::multiset<DeliveryKey> run_deliveries(ExperimentConfig cfg) {
+  Deployment dep(cfg);
+  std::multiset<DeliveryKey> seen;
+  dep.on_delivery = [&](const Delivery& d, Timestamp) {
+    seen.emplace(d.msg_id, d.sub_id, d.subscriber);
+  };
+  dep.start();
+  // Let registration drain before publishing: subscriptions arriving mid
+  // stream would match later messages but not earlier ones, making the
+  // delivered multiset depend on event timing rather than on covering.
+  dep.run_for(2.0);
+  dep.set_rate(400.0);
+  dep.run_for(6.0);
+  dep.set_rate(0.0);
+  dep.run_for(3.0);
+  EXPECT_EQ(dep.completed(), dep.published());
+  return seen;
+}
+
+TEST(CoverDeployment, DeliveredSetsMatchUncoveredSystem) {
+  ExperimentConfig cfg = cover_config(41);
+  std::multiset<DeliveryKey> base = run_deliveries(cfg);
+  cfg.cover = true;
+  std::multiset<DeliveryKey> covered = run_deliveries(cfg);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, covered)
+      << "covering must not change a single delivered (msg, sub) pair";
+}
+
+TEST(CoverDeployment, MatchersActuallyCompress) {
+  ExperimentConfig cfg = cover_config(43);
+  cfg.cover = true;
+  Deployment dep(cfg);
+  dep.start();
+  dep.run_for(2.0);
+  std::size_t raw = 0;
+  std::size_t indexed = 0;
+  for (NodeId id : dep.matcher_ids()) {
+    const MatcherNode* m = dep.matcher(id);
+    for (DimId d = 0; d < 4; ++d) {
+      const CoverTable* table = m->cover_table(d);
+      ASSERT_NE(table, nullptr);
+      raw += table->raw_count();
+      indexed += table->indexed_count();
+    }
+  }
+  EXPECT_GE(raw, cfg.subscriptions);
+  EXPECT_LT(indexed, raw / 2)
+      << "a 0.8-duplicate-skew workload should compress at least 2x";
+}
+
+TEST(CoverDeployment, ChurnStormRunsCleanUnderCoverAudit) {
+  const bool prev = Audit::enabled();
+  Audit::set_enabled(true);
+  Audit::set_fail_fast(false);
+  Audit::reset();
+
+  ExperimentConfig cfg = cover_config(47);
+  cfg.cover = true;
+  Deployment dep(cfg);
+  std::uint64_t deliveries = 0;
+  dep.on_delivery = [&](const Delivery&, Timestamp) { ++deliveries; };
+  dep.start();
+  dep.set_rate(400.0);
+  dep.run_for(4.0);
+  // Split/merge storm: joiners take over half of a segment (cover sets must
+  // re-partition cleanly), leavers hand their raw members back.
+  const NodeId j1 = dep.add_matcher();
+  dep.run_for(4.0);
+  const NodeId j2 = dep.add_matcher();
+  dep.run_for(4.0);
+  dep.leave_matcher(j1);
+  dep.run_for(4.0);
+  dep.leave_matcher(j2);
+  dep.run_for(4.0);
+  dep.set_rate(0.0);
+  dep.run_for(3.0);
+
+  // Publishing continues through the handover windows, so a few in-flight
+  // requests may go unanswered (same as the uncovered system); the bar here
+  // is that the storm completes and every audit stays clean.
+  EXPECT_GT(dep.completed(), dep.published() * 9 / 10);
+  EXPECT_GT(deliveries, 0u);
+  EXPECT_EQ(dep.audit_invariants(), 0u);
+  EXPECT_EQ(Audit::violations(AuditKind::kCover), 0u)
+      << "expansion disagreed with the raw-set oracle";
+  EXPECT_EQ(Audit::total_violations(), 0u);
+
+  Audit::set_enabled(prev);
+  Audit::reset();
+}
+
+TEST(CoverDeployment, DeterminismDigestUnchangedByCovering) {
+  // Work units and jitter off: virtual event times then depend only on the
+  // event *counts*, which covering provably preserves, so the delivered
+  // event stream must hash identically with the layer on or off.
+  auto run = [](bool cover) {
+    ExperimentConfig cfg = cover_config(53);
+    cfg.cover = cover;
+    cfg.sim.digest = true;
+    cfg.sim.sec_per_work_unit = 0.0;
+    cfg.sim.net_jitter = 0.0;
+    Deployment dep(cfg);
+    dep.start();
+    dep.set_rate(300.0);
+    dep.run_for(5.0);
+    dep.set_rate(0.0);
+    dep.run_for(3.0);
+    return dep.digest();
+  };
+  const std::uint64_t off = run(false);
+  const std::uint64_t on = run(true);
+  EXPECT_NE(off, 0u);
+  EXPECT_EQ(off, on);
+}
+
+}  // namespace
+}  // namespace bluedove

@@ -21,6 +21,13 @@
 //   --index=linear-scan|bucket|interval-tree|flat-bucket
 //   --match-batch=N   --msg-skew=J     --seed=N
 //   --reliable        --cores=N
+//   --cover           enable subscription covering (DESIGN.md §15): matchers
+//                     aggregate near-duplicate predicates behind covering
+//                     representatives and expand at delivery
+//   --cover-budget=F  covering false-positive volume budget (default 0.05)
+//   --duplicate-skew=R  fraction of subscriptions drawn from a reused Zipf
+//                     template pool (default 0 = all fresh)
+//   --duplicate-jitter=J  per-bound jitter on reused templates (domain units)
 //   --simd=auto|scalar|off|avx2|avx512|neon   match-probe kernel (auto:
 //                                      widest ISA the CPU supports; scalar
 //                                      and vector paths produce identical
@@ -145,6 +152,10 @@ ExperimentConfig config_from(const CliArgs& args) {
     cfg.index_kind = IndexKind::kLinearScan;
   }
   cfg.match_batch = static_cast<int>(args.get_int("match-batch", 1));
+  cfg.cover = args.get_bool("cover", false);
+  cfg.cover_budget = args.get_double("cover-budget", 0.05);
+  cfg.duplicate_skew = args.get_double("duplicate-skew", 0.0);
+  cfg.duplicate_jitter = args.get_double("duplicate-jitter", 0.0);
   return cfg;
 }
 
@@ -325,6 +336,21 @@ int cmd_stats(const CliArgs& args) {
   for (const obs::SegmentLoadTable& table :
        obs::SegmentLoadTable::from_snapshot(snap)) {
     std::fputs(table.format().c_str(), stdout);
+  }
+  if (snap.gauges.count("cover.compression_ratio") != 0) {
+    const auto counter = [&](const char* name) {
+      const auto it = snap.counters.find(name);
+      return it != snap.counters.end() ? static_cast<double>(it->second) : 0.0;
+    };
+    const double expansions = counter("cover.expansions");
+    std::printf("cover: %.0f raw subscriptions behind %.0f indexed entries "
+                "(%.2fx compression), expansion fan-out %.2f members/hit\n",
+                snap.gauges.at("cover.raw_subscriptions"),
+                snap.gauges.at("cover.representatives"),
+                snap.gauges.at("cover.compression_ratio"),
+                expansions > 0.0
+                    ? counter("cover.expanded_members") / expansions
+                    : 0.0);
   }
   if (!snap.counters.empty()) std::printf("counters:\n");
   for (const auto& [name, v] : snap.counters) {

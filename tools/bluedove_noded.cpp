@@ -11,6 +11,13 @@
 //   --dims=K --domain=L              schema (default 4 x [0,1000))
 //   --index=bucket|flat-bucket|interval-tree|linear-scan   (matcher only)
 //   --match-batch=N                  matcher batch drain depth (default 1)
+//   --cover                          matcher subscription covering
+//                                    (DESIGN.md §15): near-duplicate
+//                                    predicates are aggregated behind
+//                                    covering representatives and expanded
+//                                    at delivery
+//   --cover-budget=F                 covering false-positive volume budget
+//                                    (default 0.05)
 //   --cores=N                        matcher offload worker threads
 //                                    (default 4): index probes run on a
 //                                    work-stealing pool off the node
@@ -156,6 +163,8 @@ int main(int argc, char** argv) {
       cfg.index_kind = IndexKind::kBucket;
     }
     cfg.match_batch = static_cast<int>(args.get_int("match-batch", 1));
+    cfg.cover.enabled = args.get_bool("cover", false);
+    cfg.cover.fp_volume_budget = args.get_double("cover-budget", 0.05);
     cfg.dispatchers = dispatchers;
     cfg.metrics_sink = sink != 0 ? sink : kInvalidNode;
     cfg.delivery_sink = sink != 0 ? sink : kInvalidNode;

@@ -11,9 +11,12 @@
 #   5b. obs label (flight recorder, trace export, segment load) and the
 #       TCP trace smoke (tools/trace_smoke.sh: 7-process cluster, merged
 #       Perfetto dump validated by tools/trace_check.py)
-#   6. ASan+UBSan suite (tools/sanitize_check.sh), then the simd label
-#      again under ASan/UBSan (gather/tail lanes are exactly where an
-#      out-of-bounds read would hide)
+#   5c. cover label (covering table semantics, residual exactness,
+#       covered-vs-uncovered deployment differentials)
+#   6. ASan+UBSan suite (tools/sanitize_check.sh), then the simd and cover
+#      labels again under ASan/UBSan (gather/tail lanes and the member
+#      arena's raw range strips are exactly where an out-of-bounds read
+#      would hide)
 #   7. TSan concurrency suites (tools/tsan_check.sh)
 #
 # Usage: tools/check_all.sh [--fast]
@@ -45,6 +48,9 @@ ctest --test-dir "${repo_root}/build" --output-on-failure -L simd
 echo "== obs label (recorder, trace export, segment load) =="
 ctest --test-dir "${repo_root}/build" --output-on-failure -L obs
 
+echo "== cover label (subscription covering layer) =="
+ctest --test-dir "${repo_root}/build" --output-on-failure -L cover
+
 echo "== flight-recorder TCP trace smoke =="
 "${repo_root}/tools/trace_smoke.sh" "${repo_root}/build"
 
@@ -58,6 +64,9 @@ echo "== asan+ubsan =="
 
 echo "== asan+ubsan: simd label =="
 "${repo_root}/tools/sanitize_check.sh" --label simd
+
+echo "== asan+ubsan: cover label =="
+"${repo_root}/tools/sanitize_check.sh" --label cover
 
 echo "== tsan =="
 "${repo_root}/tools/tsan_check.sh"

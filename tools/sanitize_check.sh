@@ -5,7 +5,9 @@
 # epoch-guarded subscription store, index snapshots). The arena/SoA index code
 # moves raw slots instead of shared_ptrs, so this is the lifetime/bounds
 # safety net for src/index, and the pooled serialization buffers in src/net
-# get the same coverage.
+# get the same coverage. The `cover` label (subscription covering layer)
+# rides along: its member arena stores raw per-member range strips that the
+# residual filter walks by offset, the classic place for a bounds slip.
 #
 # Usage: tools/sanitize_check.sh [--label LABEL] [ctest-args...]
 #   --label LABEL restricts the run to one ctest label (repeatable); any

@@ -5,7 +5,10 @@
 # pool), the node logic they drive, the obs metrics hot path (relaxed
 # atomics updated from matcher worker threads while snapshots read them),
 # and the `parallel` label (offload worker pool, work-stealing lanes,
-# epoch-guarded store, snapshot-vs-churn differential).
+# epoch-guarded store, snapshot-vs-churn differential). The `cover` label
+# runs too: covering mutations are node-thread-only by design and the
+# expansion pre-pass must never touch pool workers — TSan enforces that
+# claim rather than trusting the comment.
 #
 # Usage: tools/tsan_check.sh [--label LABEL] [ctest-args...]
 #   --label LABEL replaces the default suite selection with one ctest label
@@ -54,4 +57,6 @@ else
     ${ctest_args[@]+"${ctest_args[@]}"}
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
     -L parallel ${ctest_args[@]+"${ctest_args[@]}"}
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+    -L cover ${ctest_args[@]+"${ctest_args[@]}"}
 fi
