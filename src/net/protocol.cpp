@@ -317,6 +317,48 @@ TraceDumpResponse read_trace_dump_response(serde::Reader& r) {
   return TraceDumpResponse{r.str()};
 }
 
+void write_payload(serde::Writer& w, const EdgeHello& m) {
+  w.varint(m.session);
+  w.varint(m.last_seq);
+}
+EdgeHello read_edge_hello(serde::Reader& r) {
+  EdgeHello m;
+  m.session = r.varint();
+  m.last_seq = r.varint();
+  return m;
+}
+
+void write_payload(serde::Writer& w, const EdgeWelcome& m) {
+  w.varint(m.session);
+  w.varint(m.next_seq);
+  w.u8(m.resumed ? 1 : 0);
+}
+EdgeWelcome read_edge_welcome(serde::Reader& r) {
+  EdgeWelcome m;
+  m.session = r.varint();
+  m.next_seq = r.varint();
+  m.resumed = r.u8() != 0;
+  return m;
+}
+
+void write_payload(serde::Writer& w, const EdgeAck& m) { w.varint(m.seq); }
+EdgeAck read_edge_ack(serde::Reader& r) {
+  EdgeAck m;
+  m.seq = r.varint();
+  return m;
+}
+
+void write_payload(serde::Writer& w, const EdgeEvent& m) {
+  w.varint(m.seq);
+  write_payload(w, m.delivery);
+}
+EdgeEvent read_edge_event(serde::Reader& r) {
+  EdgeEvent m;
+  m.seq = r.varint();
+  m.delivery = read_delivery(r);
+  return m;
+}
+
 }  // namespace
 
 void write_envelope(serde::Writer& w, const Envelope& env) {
@@ -377,6 +419,14 @@ Envelope read_envelope(serde::Reader& r) {
       return Envelope::of(read_trace_dump_request(r));
     case 24:
       return Envelope::of(read_trace_dump_response(r));
+    case 25:
+      return Envelope::of(read_edge_hello(r));
+    case 26:
+      return Envelope::of(read_edge_welcome(r));
+    case 27:
+      return Envelope::of(read_edge_ack(r));
+    case 28:
+      return Envelope::of(read_edge_event(r));
     default:
       return Envelope::of(TablePullReq{});
   }
@@ -396,7 +446,8 @@ const char* payload_name(const Envelope& env) {
       "GossipSyn", "GossipAck", "GossipAck2", "JoinRequest", "SplitCommand",
       "HandoverSegment", "LeaveRequest", "HandoverMerge", "MatchAck",
       "StatsRequest", "StatsResponse", "MatchRequestBatch",
-      "TraceDumpRequest", "TraceDumpResponse"};
+      "TraceDumpRequest", "TraceDumpResponse", "EdgeHello", "EdgeWelcome",
+      "EdgeAck", "EdgeEvent"};
   return kNames[env.payload.index()];
 }
 

@@ -243,6 +243,44 @@ struct TraceDumpResponse {
 };
 
 // --------------------------------------------------------------------------
+// Client <-> edge front end (src/edge): resumable sessions
+// --------------------------------------------------------------------------
+
+/// First envelope on every edge connection. `session` 0 requests a fresh
+/// session; non-zero asks to resume an existing one, with `last_seq` the
+/// highest delivery sequence number the client has processed (an implicit
+/// cumulative ack — replay starts just past it).
+struct EdgeHello {
+  std::uint64_t session = 0;
+  std::uint64_t last_seq = 0;
+};
+
+/// Edge -> client reply to EdgeHello. `next_seq` is the sequence number the
+/// first post-handshake delivery will carry; on resume, a client that asked
+/// for `last_seq` L and is told next_seq > L + 1 knows the replay ring had
+/// already dropped part of the gap (counted as edge.replay_gaps).
+struct EdgeWelcome {
+  std::uint64_t session = 0;
+  std::uint64_t next_seq = 1;
+  bool resumed = false;  ///< false: fresh session (resubscribe needed)
+};
+
+/// Client -> edge cumulative delivery ack: everything up to and including
+/// `seq` may be dropped from the session's replay ring.
+struct EdgeAck {
+  std::uint64_t seq = 0;
+};
+
+/// Edge -> client: one matched delivery stamped with the session's
+/// per-delivery sequence number. The embedded Delivery shares the matcher
+/// frame's refcounted payload block (PayloadRef), so an edge fan-out to
+/// every subscriber on a socket serializes from one buffer without copies.
+struct EdgeEvent {
+  std::uint64_t seq = 0;
+  Delivery delivery;
+};
+
+// --------------------------------------------------------------------------
 // Envelope
 // --------------------------------------------------------------------------
 
@@ -253,7 +291,8 @@ using Payload =
                  GossipSyn, GossipAck, GossipAck2, JoinRequest, SplitCommand,
                  HandoverSegment, LeaveRequest, HandoverMerge, MatchAck,
                  StatsRequest, StatsResponse, MatchRequestBatch,
-                 TraceDumpRequest, TraceDumpResponse>;
+                 TraceDumpRequest, TraceDumpResponse, EdgeHello, EdgeWelcome,
+                 EdgeAck, EdgeEvent>;
 
 struct Envelope {
   Payload payload;

@@ -3,10 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -34,7 +36,10 @@ std::uint16_t flush() {
 }  // namespace rec
 
 int connect_endpoint(const TcpEndpoint& endpoint) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  // SOCK_CLOEXEC everywhere a socket is minted: a fork/exec from any other
+  // thread (recorder dump helpers, tests spawning tools) must not leak
+  // wire fds into the child.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -81,6 +86,20 @@ bool sendv_all(int fd, ::iovec* iov, std::size_t cnt) {
 }
 
 }  // namespace
+
+std::size_t raise_fd_limit(std::size_t want) {
+  ::rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 0;
+  const rlim_t target = rl.rlim_max == RLIM_INFINITY
+                            ? static_cast<rlim_t>(want)
+                            : std::min(static_cast<rlim_t>(want), rl.rlim_max);
+  if (target > rl.rlim_cur) {
+    ::rlimit raised = rl;
+    raised.rlim_cur = target;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) rl = raised;
+  }
+  return static_cast<std::size_t>(rl.rlim_cur);
+}
 
 // ---------------------------------------------------------------------------
 // Context
@@ -186,7 +205,7 @@ TcpHost::TcpHost(NodeId self, std::uint16_t listen_port,
       &wire_metrics_.counter("wire.payload_bytes_copied");
   m_frame_envs_ = &wire_metrics_.histogram("wire.frame_envelopes");
   m_frame_bytes_ = &wire_metrics_.histogram("wire.frame_bytes");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return;
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -307,7 +326,7 @@ void TcpHost::stop() {
 
 void TcpHost::accept_loop() {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) return;  // listener closed: shutting down
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -386,6 +405,12 @@ bool TcpHost::enable_offload(int workers, std::size_t lanes) {
       cfg, [this](std::function<void()> fn) { enqueue_task(std::move(fn)); },
       &wire_metrics_);
   return true;
+}
+
+void TcpHost::inject(NodeId from, Envelope&& env) {
+  enqueue_task([this, from, env = std::move(env)]() mutable {
+    node_->on_receive(from, std::move(env));
+  });
 }
 
 void TcpHost::enqueue_task(std::function<void()> fn) {

@@ -60,6 +60,12 @@ struct TcpEndpoint {
   std::uint16_t port = 0;
 };
 
+/// Best-effort bump of RLIMIT_NOFILE toward `want` (clamped to the hard
+/// limit — raising that needs CAP_SYS_RESOURCE, which containers rarely
+/// grant). Returns the soft limit in effect afterwards so callers can log
+/// the outcome; never fails harder than leaving the limit unchanged.
+std::size_t raise_fd_limit(std::size_t want);
+
 /// Outbound wire-path tuning. The default (batch = 1) preserves strict
 /// per-message synchronous sends; batch > 1 enables the queued writer pool.
 struct WireConfig {
@@ -111,6 +117,13 @@ class TcpHost {
   }
 
   std::uint64_t dropped_sends() const { return dropped_sends_.load(); }
+
+  /// Injects an envelope into the hosted node's receive path as if it had
+  /// arrived on the wire from `from` — the node task queue serializes it
+  /// with real socket traffic. Lets in-process front ends (the client edge
+  /// layer) hand ingress to the node thread without a loopback round trip.
+  /// Safe from any thread; dropped after stop() begins.
+  void inject(NodeId from, Envelope&& env);
 
   /// Host-level wire instrumentation: bytes/frames/envelopes sent, frame
   /// batch-size histogram, per-peer queue depth gauges. Snapshot-safe from

@@ -33,6 +33,7 @@ DispatcherNode::DispatcherNode(NodeId id, DispatcherConfig config)
   policy_ = make_policy(config_.policy);
   policy_->set_dispatcher_count(config_.dispatcher_count);
   m_published_ = &metrics_.counter("dispatcher.published");
+  m_deliveries_in_ = &metrics_.counter("dispatcher.deliveries_in");
   m_forwarded_ = &metrics_.counter("dispatcher.forwarded");
   m_dropped_ = &metrics_.counter("dispatcher.dropped_no_candidate");
   m_sampled_ = &metrics_.counter("dispatcher.traced");
@@ -77,10 +78,16 @@ void DispatcherNode::on_receive(NodeId from, Envelope env) {
           handle_join(from);
         } else if constexpr (std::is_same_v<T, MatchAck>) {
           pending_.erase(msg.msg_id);
+        } else if constexpr (std::is_same_v<T, Delivery>) {
+          m_deliveries_in_->inc();
+          if (on_delivery) on_delivery(msg);
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           m_stats_reqs_->inc();
-          ctx_->send(from, Envelope::of(StatsResponse{
-                               obs::to_json(metrics_.snapshot())}));
+          obs::MetricsSnapshot snap = metrics_.snapshot();
+          for (const obs::MetricsRegistry* reg : extra_stats_) {
+            snap.merge(reg->snapshot());
+          }
+          ctx_->send(from, Envelope::of(StatsResponse{obs::to_json(snap)}));
         } else if constexpr (std::is_same_v<T, TraceDumpRequest>) {
           ctx_->send(from, Envelope::of(TraceDumpResponse{
                                obs::perfetto_trace_json()}));

@@ -93,6 +93,19 @@ class DispatcherNode final : public Node {
   /// matcher process that will send us a JoinRequest.
   std::function<void()> on_need_capacity;
 
+  /// Fired on the node thread for every Delivery envelope addressed to this
+  /// dispatcher (matchers send them here when the dispatcher is the
+  /// delivery sink). The client edge layer hooks this to fan deliveries out
+  /// to its sessions; unset, deliveries are counted and dropped.
+  std::function<void(const Delivery&)> on_delivery;
+
+  /// Registers an extra registry whose snapshot is merged into
+  /// StatsResponse payloads (e.g. the edge front end's `edge.*` metrics).
+  /// The registry must outlive this node. Call before start().
+  void add_stats_registry(const obs::MetricsRegistry* reg) {
+    extra_stats_.push_back(reg);
+  }
+
   // --- introspection --------------------------------------------------------
   const SegmentView& view() const { return view_; }
   const LoadView& load_view() const { return load_view_; }
@@ -146,7 +159,9 @@ class DispatcherNode final : public Node {
   NodeContext* ctx_ = nullptr;
 
   obs::MetricsRegistry metrics_;
+  std::vector<const obs::MetricsRegistry*> extra_stats_;
   obs::Counter* m_published_ = nullptr;
+  obs::Counter* m_deliveries_in_ = nullptr;  ///< Delivery envelopes received
   obs::Counter* m_forwarded_ = nullptr;
   obs::Counter* m_dropped_ = nullptr;
   obs::Counter* m_sampled_ = nullptr;     ///< publications given a trace id

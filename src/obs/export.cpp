@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 
 namespace bluedove::obs {
 
@@ -268,33 +269,65 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     }
     return out;
   };
+  // Hand-written HELP text for families whose semantics are not obvious
+  // from the name; everything else gets the generic fallback below.
+  auto describe = [](const std::string& name) -> const char* {
+    static const std::map<std::string, const char*> kHelp = {
+        {"edge.accepts", "Client connections accepted by the edge listener"},
+        {"edge.accept_rejects",
+         "Client connections refused at the max_connections cap"},
+        {"edge.disconnects", "Client connections closed (any reason)"},
+        {"edge.evictions",
+         "Slow clients disconnected for exceeding the write-queue bound"},
+        {"edge.sessions_created", "Fresh edge sessions established"},
+        {"edge.sessions_resumed",
+         "Reconnects that resumed an existing session"},
+        {"edge.sessions_reaped",
+         "Detached sessions discarded after the resume timeout"},
+        {"edge.deliveries",
+         "Deliveries sequenced into edge sessions (sent or buffered)"},
+        {"edge.replay_hits",
+         "Buffered deliveries replayed to resuming clients"},
+        {"edge.replay_gaps",
+         "Deliveries lost to resuming clients (replay ring overflowed)"},
+        {"edge.connections", "Currently connected edge clients"},
+        {"edge.sessions", "Resident edge sessions (connected or resumable)"},
+        {"edge.delivery_latency",
+         "Seconds from edge ingress to the subscriber socket write"},
+    };
+    const auto it = kHelp.find(name);
+    return it == kHelp.end() ? nullptr : it->second;
+  };
   // The HELP line deliberately repeats the sanitized name, not the dotted
   // source: consumers match on the exposition name, and the dotted form
   // appearing anywhere would defeat grep-based sanity checks.
   auto header = [&](std::string& dst, const std::string& n,
-                    const char* type) {
+                    const std::string& raw, const char* type) {
+    const char* help = describe(raw);
     dst += "# HELP " + n + " " +
-           escape_help("BlueDove " + std::string(type) + " " + n) +
+           escape_help(help != nullptr
+                           ? std::string(help)
+                           : "BlueDove " + std::string(type) + " " + n) +
            "\n# TYPE " + n + " " + type + "\n";
   };
   std::string out;
   for (const auto& [name, v] : snap.counters) {
     const std::string n = sanitize(name);
-    header(out, n, "counter");
+    header(out, n, name, "counter");
     out += n + " ";
     append_u64(out, v);
     out += '\n';
   }
   for (const auto& [name, v] : snap.gauges) {
     const std::string n = sanitize(name);
-    header(out, n, "gauge");
+    header(out, n, name, "gauge");
     out += n + " ";
     append_double(out, v);
     out += '\n';
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string n = sanitize(name);
-    header(out, n, "histogram");
+    header(out, n, name, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       if (h.counts[i] == 0) continue;

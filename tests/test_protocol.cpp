@@ -220,6 +220,46 @@ TEST(Envelope, ControlAndElasticityRoundTrips) {
   EXPECT_EQ(std::get<HandoverMerge>(merge_back.payload).subs.size(), 2u);
 }
 
+TEST(Envelope, EdgeSessionRoundTrips) {
+  EdgeHello hello;
+  hello.session = 0x1234567890abcdefull;
+  hello.last_seq = 987654321;
+  const auto hello_back = round_trip(Envelope::of(hello));
+  EXPECT_EQ(std::get<EdgeHello>(hello_back.payload).session, hello.session);
+  EXPECT_EQ(std::get<EdgeHello>(hello_back.payload).last_seq, hello.last_seq);
+
+  EdgeWelcome welcome;
+  welcome.session = 42;
+  welcome.next_seq = 7;
+  welcome.resumed = true;
+  const auto welcome_back = round_trip(Envelope::of(welcome));
+  EXPECT_EQ(std::get<EdgeWelcome>(welcome_back.payload).session, 42u);
+  EXPECT_EQ(std::get<EdgeWelcome>(welcome_back.payload).next_seq, 7u);
+  EXPECT_TRUE(std::get<EdgeWelcome>(welcome_back.payload).resumed);
+
+  const auto ack_back = round_trip(Envelope::of(EdgeAck{991}));
+  EXPECT_EQ(std::get<EdgeAck>(ack_back.payload).seq, 991u);
+}
+
+TEST(Envelope, EdgeEventRoundTrip) {
+  EdgeEvent ev;
+  ev.seq = 12345;
+  ev.delivery.msg_id = 9;
+  ev.delivery.sub_id = 7;
+  ev.delivery.subscriber = 8;
+  ev.delivery.dispatched_at = 1.5;
+  ev.delivery.values = {1, 2, 3};
+  ev.delivery.payload = "edge-bytes";
+  const auto back = round_trip(Envelope::of(ev));
+  const auto& got = std::get<EdgeEvent>(back.payload);
+  EXPECT_EQ(got.seq, 12345u);
+  EXPECT_EQ(got.delivery.msg_id, 9u);
+  EXPECT_EQ(got.delivery.sub_id, 7u);
+  EXPECT_EQ(got.delivery.subscriber, 8u);
+  EXPECT_EQ(got.delivery.values, ev.delivery.values);
+  EXPECT_EQ(got.delivery.payload.view(), "edge-bytes");
+}
+
 TEST(Envelope, TracedMatchRequestRoundTrip) {
   MatchRequest req{sample_msg(), 2, 10.0};
   req.trace_id = 0xabcdef0123ull;

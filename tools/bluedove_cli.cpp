@@ -13,6 +13,10 @@
 //              the dump with tools/trace_check.py)
 //   blast      TCP traffic generator: publish a burst of messages at a live
 //              dispatcher as fast as the wire path allows
+//   edge-blast drive a live edge listener (bluedove_noded --edge-port) with
+//              a swarm of persistent client connections: open sessions with
+//              random subscriptions, publish through them, report conn/s,
+//              msg/s, delivery latency percentiles and sequence continuity
 //
 // Common options (defaults mirror the paper's §IV-B setup, scaled):
 //   --system=bluedove|p2p|full-rep     --matchers=N        --dispatchers=N
@@ -65,6 +69,18 @@
 //   --wire-flush=SEC   writer linger for a partial batch (default 0.5 ms)
 //   --wire-queue=N     per-peer bounded send queue (default 65536)
 //
+// edge-blast options:
+//   --peer=host:port   the edge listener to connect to (required)
+//   --conns=N          persistent client sessions to open (default 1000)
+//   --count=N          messages to publish through them (default 10000)
+//   --payload=BYTES    message payload size (default 64; min 8 — the
+//                      payload carries the publish timestamp the latency
+//                      percentiles are computed from)
+//   --dims=K --domain=L --sub-width=W   per-session random subscriptions
+//   --drivers=N        receive-side epoll driver threads (default 2)
+//   --sub-settle=SEC   wait after subscribing before the publish storm
+//   --timeout=SEC      per-phase wait bound (default 60)
+//
 // Examples:
 //   bluedove_cli saturate --system=p2p --matchers=10
 //   bluedove_cli run --rate=20000 --duration=60
@@ -82,6 +98,7 @@
 
 #include "common/cli.h"
 #include "common/rng.h"
+#include "edge/edge_swarm.h"
 #include "harness/experiment.h"
 #include "net/cluster_table.h"
 #include "net/tcp_transport.h"
@@ -101,7 +118,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: bluedove_cli "
                "<saturate|run|crash|scale|stats|trace-dump|trace-selftest|"
-               "blast> [--options]\n"
+               "blast|edge-blast> [--options]\n"
                "see the header of tools/bluedove_cli.cpp for the full list\n");
   return 2;
 }
@@ -336,6 +353,24 @@ int cmd_stats(const CliArgs& args) {
   for (const obs::SegmentLoadTable& table :
        obs::SegmentLoadTable::from_snapshot(snap)) {
     std::fputs(table.format().c_str(), stdout);
+  }
+  if (snap.counters.count("edge.accepts") != 0) {
+    const auto counter = [&](const char* name) {
+      const auto it = snap.counters.find(name);
+      return it != snap.counters.end() ? (unsigned long long)it->second : 0ull;
+    };
+    const auto gauge = [&](const char* name) {
+      const auto it = snap.gauges.find(name);
+      return it != snap.gauges.end() ? it->second : 0.0;
+    };
+    std::printf(
+        "edge: %.0f connections over %.0f sessions (%llu resumed, "
+        "%llu reaped), %llu deliveries (%llu replayed, %llu gapped), "
+        "%llu evictions\n",
+        gauge("edge.connections"), gauge("edge.sessions"),
+        counter("edge.sessions_resumed"), counter("edge.sessions_reaped"),
+        counter("edge.deliveries"), counter("edge.replay_hits"),
+        counter("edge.replay_gaps"), counter("edge.evictions"));
   }
   if (snap.gauges.count("cover.compression_ratio") != 0) {
     const auto counter = [&](const char* name) {
@@ -628,6 +663,87 @@ int cmd_blast(const CliArgs& args) {
   return 0;
 }
 
+struct EdgeBlastGen {
+  std::size_t dims;
+  double domain;
+  double width;
+  std::uint64_t seed;
+};
+
+std::vector<Range> edge_blast_sub(int idx, void* arg) {
+  const auto* g = static_cast<const EdgeBlastGen*>(arg);
+  Rng rng(g->seed + static_cast<std::uint64_t>(idx));
+  std::vector<Range> ranges(g->dims);
+  for (Range& r : ranges) {
+    const double center = rng.uniform(0.0, g->domain);
+    r.lo = std::max(0.0, center - g->width / 2.0);
+    r.hi = std::min(g->domain, center + g->width / 2.0);
+  }
+  return ranges;
+}
+
+/// Drive a live edge listener (bluedove_noded --edge-port) with a swarm of
+/// persistent client connections: open sessions, subscribe, publish, and
+/// report throughput, delivery latency, and sequence continuity.
+int cmd_edge_blast(const CliArgs& args) {
+  net::TcpEndpoint ep;
+  if (!parse_peer(args, "edge-blast", ep)) return 2;
+  const int conns = static_cast<int>(args.get_int("conns", 1000));
+  const auto count = static_cast<std::uint64_t>(args.get_int("count", 10000));
+  const auto payload =
+      static_cast<std::size_t>(args.get_int("payload", 64));
+  EdgeBlastGen gen;
+  gen.dims = static_cast<std::size_t>(args.get_int("dims", 4));
+  gen.domain = args.get_double("domain", 1000.0);
+  gen.width = args.get_double("sub-width", gen.domain / 4.0);
+  gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::size_t fd_limit = net::raise_fd_limit(1u << 20);
+  std::printf("edge-blast: RLIMIT_NOFILE soft limit %zu\n", fd_limit);
+
+  edge::SwarmConfig scfg;
+  scfg.endpoint = ep;
+  scfg.drivers = static_cast<int>(args.get_int("drivers", 2));
+  edge::Swarm swarm(scfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const int opened = swarm.open(conns, edge_blast_sub, &gen,
+                                args.get_double("timeout", 60.0));
+  const double conn_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("edge-blast: %d/%d sessions in %.3fs -> %.0f conn/s\n", opened,
+              conns, conn_secs, static_cast<double>(opened) / conn_secs);
+  if (opened == 0) return 1;
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      static_cast<int>(args.get_double("sub-settle", 0.5) * 1e3)));
+
+  Rng rng(gen.seed);
+  std::vector<Value> values(gen.dims);
+  const auto p0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (auto& v : values) v = rng.uniform(0.0, gen.domain);
+    swarm.publish(values, payload);
+  }
+  swarm.drain(0.5, args.get_double("timeout", 60.0));
+  const double pub_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+          .count();
+  const obs::HistogramSnapshot lat = swarm.latency().snapshot();
+  std::printf(
+      "edge-blast: %llu publishes in %.3fs -> %.0f msg/s, "
+      "%llu deliveries (%.2f per msg)\n",
+      (unsigned long long)count, pub_secs,
+      static_cast<double>(count) / pub_secs,
+      (unsigned long long)swarm.delivered(),
+      static_cast<double>(swarm.delivered()) / static_cast<double>(count));
+  std::printf(
+      "edge-blast: delivery latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+      "gaps=%llu dups=%llu\n",
+      lat.quantile(0.50) * 1e3, lat.quantile(0.95) * 1e3,
+      lat.quantile(0.99) * 1e3, (unsigned long long)swarm.gaps(),
+      (unsigned long long)swarm.dups());
+  return swarm.gaps() == 0 && swarm.dups() == 0 ? 0 : 1;
+}
+
 int cmd_crash(const CliArgs& args) {
   ExperimentConfig cfg = config_from(args);
   const double rate = args.get_double("rate", 10000.0);
@@ -715,6 +831,8 @@ int main(int argc, char** argv) {
     rc = cmd_trace_selftest(args);
   } else if (cmd == "blast") {
     rc = cmd_blast(args);
+  } else if (cmd == "edge-blast") {
+    rc = cmd_edge_blast(args);
   } else {
     return usage();
   }

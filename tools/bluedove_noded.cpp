@@ -29,6 +29,12 @@
 //                                    identical — DESIGN.md §12). The
 //                                    BLUEDOVE_SIMD env var sets the same
 //                                    default for every process.
+//   --edge-port=P                    (dispatcher) also open a client edge
+//                                    listener: an epoll reactor front end
+//                                    multiplexing persistent client
+//                                    connections with resumable sessions
+//                                    (DESIGN.md §16). 0 = disabled.
+//   --edge-reactors=N                edge reactor threads (default 2)
 //   --trace-sample=R                 dispatcher trace sampling rate [0,1]
 //   --wire-batch=N                   envelopes coalesced per TCP frame; >1
 //                                    also enables the async writer pool and
@@ -66,6 +72,7 @@
 #include <string>
 
 #include "common/cli.h"
+#include "edge/edge_frontend.h"
 #include "net/tcp_transport.h"
 #include "node/dispatcher_node.h"
 #include "node/matcher_node.h"
@@ -137,6 +144,12 @@ int main(int argc, char** argv) {
                  "--id=N [--port=P] [--peers=...] [--cluster=...]\n");
     return 2;
   }
+  // Best-effort fd-limit raise (an edge dispatcher holds one fd per client
+  // connection); the achieved soft limit is logged so deployments can see
+  // how many clients this process can actually take.
+  const std::size_t fd_limit = net::raise_fd_limit(1u << 20);
+  std::fprintf(stderr, "bluedove_noded: RLIMIT_NOFILE soft limit %zu\n",
+               fd_limit);
   const auto port =
       static_cast<std::uint16_t>(args.get_int("port", 7000 + id % 1000));
   const auto dims = static_cast<std::size_t>(args.get_int("dims", 4));
@@ -224,12 +237,43 @@ int main(int argc, char** argv) {
     host.add_peer(peer, ep);
   }
 
+  // Client edge layer (dispatcher only): epoll reactor front end with
+  // resumable sessions, feeding client ops into this dispatcher's ingress
+  // and fanning deliveries back out over the persistent client sockets.
+  std::unique_ptr<edge::EdgeFrontend> edge_fe;
+  const auto edge_port =
+      static_cast<std::uint16_t>(args.get_int("edge-port", 0));
+  if (edge_port != 0 && role == "dispatcher") {
+    edge::EdgeConfig ecfg;
+    ecfg.port = edge_port;
+    ecfg.reactors = static_cast<int>(args.get_int("edge-reactors", 2));
+    edge_fe = std::make_unique<edge::EdgeFrontend>(
+        ecfg, id, [&host](Envelope&& env) {
+          host.inject(kInvalidNode, std::move(env));
+        });
+    auto* dispatcher = host.node_as<DispatcherNode>();
+    dispatcher->on_delivery = [fe = edge_fe.get()](const Delivery& d) {
+      fe->deliver(d);
+    };
+    dispatcher->add_stats_registry(&edge_fe->metrics());
+  } else if (edge_port != 0) {
+    std::fprintf(stderr, "--edge-port requires --role=dispatcher\n");
+    return 2;
+  }
+
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   std::signal(SIGUSR2, on_trace_signal);
   host.start();
+  if (edge_fe) edge_fe->start();
   std::printf("bluedove_noded role=%s id=%u listening on 127.0.0.1:%u\n",
               role.c_str(), id, host.port());
+  if (edge_fe) {
+    std::printf("bluedove_noded id=%u edge listening on 127.0.0.1:%u "
+                "(%d reactors)\n",
+                id, edge_fe->port(),
+                static_cast<int>(args.get_int("edge-reactors", 2)));
+  }
   std::fflush(stdout);
 
   // Periodic machine-readable export: write the node's metrics registry to
@@ -247,6 +291,7 @@ int main(int argc, char** argv) {
     // Transport-level instrumentation rides along in the same export
     // (wire.* names never collide with node-level ones).
     snap.merge(host.wire_metrics().snapshot());
+    if (edge_fe) snap.merge(edge_fe->metrics().snapshot());
     return snap;
   };
   const std::string trace_arg = args.get("trace-json", "");
@@ -282,6 +327,7 @@ int main(int argc, char** argv) {
   if (!stats_path.empty() && role != "sink") {
     obs::write_json_file(stats_path, snapshot_now());  // final snapshot
   }
+  if (edge_fe) edge_fe->stop();
   host.stop();
   if (!trace_arg.empty()) {
     // Post-stop dump so the trace covers the node's full lifetime (nothing

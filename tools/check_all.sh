@@ -13,11 +13,16 @@
 #       Perfetto dump validated by tools/trace_check.py)
 #   5c. cover label (covering table semantics, residual exactness,
 #       covered-vs-uncovered deployment differentials)
+#   5d. edge label (epoll reactor front end, resumable sessions, slow-client
+#       eviction, swarm drop/resume) and a reduced-count micro_edge smoke
+#       (connection ramp + sustained fan-out + resume; exits nonzero on any
+#       sequence gap, duplicate, lost session, or payload copy)
 #   6. ASan+UBSan suite (tools/sanitize_check.sh), then the simd and cover
 #      labels again under ASan/UBSan (gather/tail lanes and the member
 #      arena's raw range strips are exactly where an out-of-bounds read
 #      would hide)
-#   7. TSan concurrency suites (tools/tsan_check.sh)
+#   7. TSan concurrency suites (tools/tsan_check.sh), then the edge label
+#      under TSan (reactor threads, swarm drivers, session migration)
 #
 # Usage: tools/check_all.sh [--fast]
 #   --fast stops after step 5 (skips the sanitizer rebuilds).
@@ -51,6 +56,13 @@ ctest --test-dir "${repo_root}/build" --output-on-failure -L obs
 echo "== cover label (subscription covering layer) =="
 ctest --test-dir "${repo_root}/build" --output-on-failure -L cover
 
+echo "== edge label (client edge layer: reactors, sessions, resume) =="
+ctest --test-dir "${repo_root}/build" --output-on-failure -L edge
+
+echo "== micro_edge smoke (reduced scale, zero-loss + zero-copy gates) =="
+"${repo_root}/build/bench/micro_edge" --connections 5000 --live 2500 \
+  --publishes 5000 --resume 250
+
 echo "== flight-recorder TCP trace smoke =="
 "${repo_root}/tools/trace_smoke.sh" "${repo_root}/build"
 
@@ -70,5 +82,8 @@ echo "== asan+ubsan: cover label =="
 
 echo "== tsan =="
 "${repo_root}/tools/tsan_check.sh"
+
+echo "== tsan: edge label =="
+"${repo_root}/tools/tsan_check.sh" --label edge
 
 echo "check_all: OK"

@@ -54,8 +54,8 @@ SCAN_DIRS = ["src", "tools", "bench", "examples", "tests"]
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
 
 # Rule scopes, relative to the repo root (prefix match on posix paths).
-THREAD_ALLOWED = ("src/runtime/", "src/net/", "tools/", "bench/", "tests/",
-                  "examples/")
+THREAD_ALLOWED = ("src/runtime/", "src/net/", "src/edge/", "tools/", "bench/",
+                  "tests/", "examples/")
 SIM_PATH_PREFIXES = (
     "src/sim/", "src/core/", "src/node/", "src/index/", "src/gossip/",
     "src/harness/", "src/attr/", "src/workload/", "src/metrics/",
