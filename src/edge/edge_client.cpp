@@ -73,18 +73,27 @@ bool EdgeClient::handshake(const EdgeHello& hello) {
   welcome_resumed_ = welcome->resumed;
   welcome_next_seq_ = welcome->next_seq;
   fd_.store(fd);
-  reader_ = std::thread([this] { reader_loop(); });
+  // Dispatch the replayed events riding in the handshake frame before the
+  // reader thread exists: otherwise the reader races frame 2+ against this
+  // loop — on_event_ from two threads, out-of-order delivery, and a later
+  // reader store of last_seq_ overwritten by an older handshake seq (which
+  // would make the next resume() re-request already-seen data).
   for (std::size_t i = 1; i < frame.envelopes.size(); ++i) {
     if (const auto* ev = std::get_if<EdgeEvent>(&frame.envelopes[i].payload)) {
       last_seq_.store(ev->seq);
       deliveries_.fetch_add(1);
       if (on_event_) on_event_(*ev);
+      if (++unacked_ >= ack_every_) {
+        unacked_ = 0;
+        ack(ev->seq);
+      }
     }
   }
   {
     std::lock_guard<std::mutex> lk(wait_mu_);  // pairs with wait_deliveries
   }
   wait_cv_.notify_all();
+  reader_ = std::thread([this] { reader_loop(); });
   return true;
 }
 

@@ -263,8 +263,21 @@ void EdgeFrontend::accept_loop() {
     const int fd = ::accept4(lfd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed by stop()
+      const int err = errno;
+      if (stop_.load() || listen_fd_.load() < 0) break;  // closed by stop()
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Out of fds/buffers: expected under load when the deployment fd
+        // cap is below max_connections. Shed and retry instead of killing
+        // the acceptor for the life of the process.
+        m_accept_rejects_->inc();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      BD_WARN("edge: accept4() failed: ", std::strerror(err));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
     }
     if (conn_count_.load() >= config_.max_connections) {
       m_accept_rejects_->inc();
@@ -500,6 +513,21 @@ void EdgeFrontend::handle_envelope(Reactor& r, Conn& c, Envelope&& env) {
         } else if constexpr (std::is_same_v<T, ClientSubscribe>) {
           Subscription sub = std::move(msg.sub);
           const std::uint64_t client_id = sub.id;
+          // A reused client sub id replaces the previous subscription:
+          // withdraw the old global mapping first so it cannot keep
+          // matching (duplicate deliveries) or leak until session drop.
+          auto old = s->client_to_global.find(client_id);
+          if (old != s->client_to_global.end()) {
+            const std::uint64_t old_gid = old->second;
+            s->global_to_client.erase(old_gid);
+            auto sit = s->subs_by_global.find(old_gid);
+            if (sit != s->subs_by_global.end()) {
+              Subscription old_sub = std::move(sit->second);
+              s->subs_by_global.erase(sit);
+              m_unsubscribes_->inc();
+              ingress_(Envelope::of(ClientUnsubscribe{std::move(old_sub)}));
+            }
+          }
           const std::uint64_t gid = kEdgeIdBit | next_sub_id_.fetch_add(1);
           sub.id = gid;
           sub.subscriber = s->id;
@@ -677,9 +705,22 @@ void EdgeFrontend::enqueue_event(Reactor& r, Conn& c, const Envelope& env) {
     r.dirty.push_back(c.fd);
   }
   // Slow-client policy: a connection that cannot absorb its fan-out share
-  // is evicted rather than allowed to grow an unbounded queue. Its session
-  // stays resumable; undelivered events wait in the replay ring.
-  if (c.unsent() > config_.write_queue_bytes) close_conn(r, c, true);
+  // is evicted rather than allowed to grow an unbounded queue. The bound
+  // applies to post-flush residue only: a fast client whose queue merely
+  // grew within one wake (a large delivery batch, a resume replaying a big
+  // ring) gets its bytes pushed to the socket first, so acks can make
+  // progress and an oversized replay drains incrementally instead of
+  // evicting before a single byte is sent. Its session stays resumable;
+  // undelivered events wait in the replay ring.
+  if (c.unsent() > config_.write_queue_bytes) {
+    const int fd = c.fd;
+    flush_conn(r, c);  // may close the conn itself on a socket error
+    auto it = r.conns.find(fd);
+    if (it == r.conns.end()) return;
+    if (it->second->unsent() > config_.write_queue_bytes) {
+      close_conn(r, *it->second, true);
+    }
+  }
 }
 
 void EdgeFrontend::close_frame(Conn& c) {

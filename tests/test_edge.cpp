@@ -313,6 +313,102 @@ TEST(EdgeFrontendTest, RingOverflowSurfacesAsResumeGap) {
   fe.stop();
 }
 
+TEST(EdgeFrontendTest, OversizedReplayFlushesInsteadOfEvicting) {
+  // Regression: the slow-client bound used to be applied before any flush
+  // attempt, so a replay (or one delivery batch) larger than
+  // write_queue_bytes evicted even a fast client before a single byte was
+  // sent — and every resume replayed the same ring and evicted again, so
+  // the session livelocked. The bound now applies to post-flush residue.
+  IngressCapture ingress;
+  EdgeConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.write_queue_bytes = 4 * 1024;  // far below the replayed volume
+  EdgeFrontend fe(cfg, 10, ingress.fn());
+  fe.start();
+
+  std::mutex mu;
+  std::vector<std::uint64_t> seqs;
+  EdgeClient client(
+      {"127.0.0.1", fe.port()},
+      [&](const EdgeEvent& ev) {
+        std::lock_guard<std::mutex> lk(mu);
+        seqs.push_back(ev.seq);
+      },
+      /*ack_every=*/1);
+  ASSERT_TRUE(client.connect());
+  const std::uint64_t session = client.session();
+  client.disconnect();
+  ASSERT_TRUE(eventually([&] { return fe.connections() == 0; }));
+
+  // 16 x 4 KiB piles ~64 KiB into the replay ring; one resume replays all
+  // of it, an order of magnitude over the write-queue bound.
+  const std::string big(4 * 1024, 'z');
+  for (MessageId m = 1; m <= 16; ++m) {
+    fe.deliver(make_delivery(session, 0, m, big));
+  }
+  ASSERT_TRUE(eventually([&] { return counter(fe, "edge.deliveries") == 16; }));
+
+  ASSERT_TRUE(client.resume());
+  EXPECT_TRUE(client.welcome_resumed());
+  ASSERT_TRUE(client.wait_deliveries(16, 10.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(seqs.size(), 16u);
+    for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i + 1);
+  }
+  EXPECT_EQ(counter(fe, "edge.evictions"), 0u);
+  EXPECT_EQ(counter(fe, "edge.replay_gaps"), 0u);
+  fe.stop();
+}
+
+TEST(EdgeFrontendTest, ReusedClientSubIdWithdrawsThePreviousSubscription) {
+  // Regression: a client reusing a subscription id used to strand the old
+  // global mapping — the stale cluster subscription kept matching
+  // (duplicate deliveries under the same client-visible id) until session
+  // drop. The edge now withdraws the old mapping before installing the new.
+  IngressCapture ingress;
+  EdgeConfig cfg;
+  cfg.host = "127.0.0.1";
+  EdgeFrontend fe(cfg, 10, ingress.fn());
+  fe.start();
+
+  const int fd = edge::dial({"127.0.0.1", fe.port()});
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(net::wire::send_frame(fd, kInvalidNode,
+                                    Envelope::of(EdgeHello{})));
+  auto send_sub = [&](std::uint64_t id, double lo, double hi) {
+    Subscription sub;
+    sub.id = id;
+    sub.ranges = {Range{lo, hi}};
+    ASSERT_TRUE(net::wire::send_frame(
+        fd, kInvalidNode, Envelope::of(ClientSubscribe{std::move(sub)})));
+  };
+
+  send_sub(7, 0, 100);
+  ASSERT_TRUE(eventually([&] { return ingress.count<ClientSubscribe>() == 1; }));
+  const std::uint64_t gid1 = ingress.all<ClientSubscribe>()[0].sub.id;
+
+  send_sub(7, 200, 300);
+  ASSERT_TRUE(eventually([&] { return ingress.count<ClientSubscribe>() == 2; }));
+  ASSERT_TRUE(
+      eventually([&] { return ingress.count<ClientUnsubscribe>() == 1; }));
+  EXPECT_EQ(ingress.all<ClientUnsubscribe>()[0].sub.id, gid1);
+  const std::uint64_t gid2 = ingress.all<ClientSubscribe>()[1].sub.id;
+  EXPECT_NE(gid2, gid1);
+
+  // A client unsubscribe of the reused id maps to the replacement only.
+  Subscription unsub;
+  unsub.id = 7;
+  ASSERT_TRUE(net::wire::send_frame(
+      fd, kInvalidNode, Envelope::of(ClientUnsubscribe{std::move(unsub)})));
+  ASSERT_TRUE(
+      eventually([&] { return ingress.count<ClientUnsubscribe>() == 2; }));
+  EXPECT_EQ(ingress.all<ClientUnsubscribe>()[1].sub.id, gid2);
+  ::close(fd);
+  fe.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Backpressure / teardown
 // ---------------------------------------------------------------------------

@@ -241,12 +241,14 @@ int main(int argc, char** argv) {
   // resumable sessions, feeding client ops into this dispatcher's ingress
   // and fanning deliveries back out over the persistent client sockets.
   std::unique_ptr<edge::EdgeFrontend> edge_fe;
+  std::string edge_host;
   const auto edge_port =
       static_cast<std::uint16_t>(args.get_int("edge-port", 0));
   if (edge_port != 0 && role == "dispatcher") {
     edge::EdgeConfig ecfg;
     ecfg.port = edge_port;
     ecfg.reactors = static_cast<int>(args.get_int("edge-reactors", 2));
+    edge_host = ecfg.host;
     edge_fe = std::make_unique<edge::EdgeFrontend>(
         ecfg, id, [&host](Envelope&& env) {
           host.inject(kInvalidNode, std::move(env));
@@ -269,9 +271,9 @@ int main(int argc, char** argv) {
   std::printf("bluedove_noded role=%s id=%u listening on 127.0.0.1:%u\n",
               role.c_str(), id, host.port());
   if (edge_fe) {
-    std::printf("bluedove_noded id=%u edge listening on 127.0.0.1:%u "
+    std::printf("bluedove_noded id=%u edge listening on %s:%u "
                 "(%d reactors)\n",
-                id, edge_fe->port(),
+                id, edge_host.c_str(), edge_fe->port(),
                 static_cast<int>(args.get_int("edge-reactors", 2)));
   }
   std::fflush(stdout);
