@@ -5,13 +5,13 @@
 // not justify a lock-free design, and correctness is easier to audit).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_safety.h"
 
 namespace bluedove {
 
@@ -53,12 +53,12 @@ class BoundedQueue {
 
   /// Blocks until space is available or the queue is closed.
   /// Returns false if the queue was closed.
-  bool push(T item) {
-    std::unique_lock lock(mu_);
+  bool push(T item) BD_EXCLUDES(mu_) {
+    bd::UniqueLock lock(mu_);
     if (stats_ != nullptr && !closed_ && items_.size() >= capacity_) {
       stats_->blocked.fetch_add(1, std::memory_order_relaxed);
     }
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
     if (stats_ != nullptr) stats_->on_enqueue();
@@ -68,9 +68,9 @@ class BoundedQueue {
   }
 
   /// Non-blocking push; returns false when full or closed.
-  bool try_push(T item) {
+  bool try_push(T item) BD_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      bd::LockGuard lock(mu_);
       if (closed_ || items_.size() >= capacity_) {
         if (stats_ != nullptr && !closed_) {
           stats_->dropped.fetch_add(1, std::memory_order_relaxed);
@@ -85,9 +85,9 @@ class BoundedQueue {
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() BD_EXCLUDES(mu_) {
+    bd::UniqueLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
@@ -98,10 +98,10 @@ class BoundedQueue {
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
+  std::optional<T> try_pop() BD_EXCLUDES(mu_) {
     std::optional<T> out;
     {
-      std::lock_guard lock(mu_);
+      bd::LockGuard lock(mu_);
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front());
       items_.pop_front();
@@ -112,22 +112,22 @@ class BoundedQueue {
   }
 
   /// Wakes all waiters; subsequent pushes fail, pops drain remaining items.
-  void close() {
+  void close() BD_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      bd::LockGuard lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mu_);
+  bool closed() const BD_EXCLUDES(mu_) {
+    bd::LockGuard lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const BD_EXCLUDES(mu_) {
+    bd::LockGuard lock(mu_);
     return items_.size();
   }
 
@@ -136,11 +136,11 @@ class BoundedQueue {
  private:
   const std::size_t capacity_;
   QueueStats* stats_ = nullptr;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable bd::Mutex mu_;
+  bd::CondVar not_empty_;
+  bd::CondVar not_full_;
+  std::deque<T> items_ BD_GUARDED_BY(mu_);
+  bool closed_ BD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bluedove

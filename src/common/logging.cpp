@@ -27,7 +27,7 @@ void Logger::write(LogLevel level, const std::string& msg) {
     case LogLevel::kOff:
       return;
   }
-  std::lock_guard lock(mu_);
+  bd::LockGuard lock(mu_);
   std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
 }
 

@@ -4,9 +4,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/thread_safety.h"
 
 namespace bluedove {
 
@@ -27,12 +28,12 @@ class Logger {
            static_cast<int>(level_.load(std::memory_order_relaxed));
   }
 
-  void write(LogLevel level, const std::string& msg);
+  void write(LogLevel level, const std::string& msg) BD_EXCLUDES(mu_);
 
  private:
   Logger() = default;
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  std::mutex mu_;
+  bd::Mutex mu_;  // serializes the stderr write, guards no fields
 };
 
 namespace detail {

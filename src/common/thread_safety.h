@@ -1,0 +1,139 @@
+#pragma once
+// Compile-time lock discipline: Clang Thread Safety Analysis wrappers.
+//
+// Every mutex in the tree is a bd::Mutex and every guarded field carries a
+// BD_GUARDED_BY(mu_) annotation, so a Clang build with -Wthread-safety
+// (CI's `analysis` job adds -Werror) turns "read outside the lock" and
+// "forgot to lock before mutating" into build errors instead of TSan
+// lottery tickets. Under GCC — which has no thread-safety analysis — every
+// macro expands to nothing and the shim types compile down to the plain
+// std primitives they wrap, so non-Clang builds stay warning-clean.
+//
+// Vocabulary (see DESIGN.md §17 for conventions):
+//   BD_CAPABILITY(name)   — class is a lockable capability (bd::Mutex)
+//   BD_SCOPED_CAPABILITY  — RAII type that acquires/releases in ctor/dtor
+//   BD_GUARDED_BY(mu)     — field may only be touched with `mu` held
+//   BD_PT_GUARDED_BY(mu)  — pointee (not the pointer) guarded by `mu`
+//   BD_REQUIRES(mu...)    — caller must already hold `mu`
+//   BD_ACQUIRE(mu...)     — function acquires `mu` and returns holding it
+//   BD_RELEASE(mu...)     — function releases `mu`
+//   BD_TRY_ACQUIRE(b, mu) — acquires `mu` iff the return value equals b
+//   BD_EXCLUDES(mu...)    — caller must NOT hold `mu` (non-reentrant)
+//   BD_RETURN_CAPABILITY(mu) — function returns a reference to `mu`
+//   BD_NO_THREAD_SAFETY_ANALYSIS — opt a function out (justify in a comment)
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define BD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BD_THREAD_ANNOTATION(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+#define BD_CAPABILITY(x) BD_THREAD_ANNOTATION(capability(x))
+#define BD_SCOPED_CAPABILITY BD_THREAD_ANNOTATION(scoped_lockable)
+#define BD_GUARDED_BY(x) BD_THREAD_ANNOTATION(guarded_by(x))
+#define BD_PT_GUARDED_BY(x) BD_THREAD_ANNOTATION(pt_guarded_by(x))
+#define BD_REQUIRES(...) BD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BD_ACQUIRE(...) BD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BD_RELEASE(...) BD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BD_TRY_ACQUIRE(...) \
+  BD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define BD_EXCLUDES(...) BD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define BD_RETURN_CAPABILITY(x) BD_THREAD_ANNOTATION(lock_returned(x))
+#define BD_NO_THREAD_SAFETY_ANALYSIS \
+  BD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bd {
+
+/// Annotated drop-in for std::mutex. `native()` exists solely so CondVar
+/// can hand the underlying mutex to std::condition_variable — do not use
+/// it to lock around the analysis.
+class BD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BD_ACQUIRE() { mu_.lock(); }
+  void unlock() BD_RELEASE() { mu_.unlock(); }
+  bool try_lock() BD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated drop-in for std::lock_guard<std::mutex>.
+class BD_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) BD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() BD_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated drop-in for std::unique_lock<std::mutex>: relockable, so the
+/// node-loop pattern `lock.unlock(); run_task(); lock.lock();` and condvar
+/// waits both stay expressible. Clang tracks the held/released state across
+/// unlock()/lock() pairs, so touching a guarded field while released is
+/// still a build error.
+class BD_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) BD_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~UniqueLock() BD_RELEASE() {}  // std::unique_lock unlocks iff still owned
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() BD_ACQUIRE() { lk_.lock(); }
+  void unlock() BD_RELEASE() { lk_.unlock(); }
+  bool owns_lock() const { return lk_.owns_lock(); }
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Annotated drop-in for std::condition_variable, waiting on a
+/// bd::UniqueLock. The predicate overloads are intentionally absent:
+/// Clang analyses a predicate lambda as a separate function that does not
+/// hold the mutex, so every guarded-field read inside one would need a
+/// waiver. Write the standard explicit loop instead —
+///   while (!ready_) cv_.wait(lock);
+/// — which the analysis checks precisely. wait()/wait_until() re-acquire
+/// the lock before returning, exactly like the std primitive.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lk.native(), dur);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.native(), tp);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bd

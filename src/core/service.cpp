@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/thread_safety.h"
 #include "net/cluster_table.h"
 #include "node/dispatcher_node.h"
 #include "node/matcher_node.h"
@@ -26,7 +27,10 @@ class Service::Impl {
       config_.schema = AttributeSchema::uniform(config_.dimensions,
                                                 config_.domain_length);
     }
-    selector_ = std::make_unique<DimensionSelector>(config_.schema);
+    {
+      bd::LockGuard lock(mu_);
+      selector_ = std::make_unique<DimensionSelector>(config_.schema);
+    }
     build();
   }
 
@@ -42,7 +46,7 @@ class Service::Impl {
     sub.subscriber = sub.id;
     sub.ranges = std::move(predicates);
     {
-      std::lock_guard lock(mu_);
+      bd::LockGuard lock(mu_);
       handlers_[sub.subscriber] = std::move(handler);
       subscriptions_[sub.id] = sub;
       selector_->observe(sub);
@@ -54,7 +58,7 @@ class Service::Impl {
   void unsubscribe(SubscriptionId id) {
     Subscription sub;
     {
-      std::lock_guard lock(mu_);
+      bd::LockGuard lock(mu_);
       auto it = subscriptions_.find(id);
       if (it == subscriptions_.end()) return;
       sub = it->second;
@@ -112,28 +116,34 @@ class Service::Impl {
   }
 
   std::vector<DimensionStats> dimension_stats() const {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     return selector_->stats();
   }
 
   std::vector<DimId> recommended_dimensions(std::size_t k) const {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     return selector_->select(k);
   }
 
   NodeId add_matcher() {
-    const NodeId id = next_matcher_id_++;
+    NodeId id;
+    {
+      // Allocate the id under the lock: two concurrent add_matcher() calls
+      // must not mint the same NodeId (found by the thread-safety audit).
+      bd::LockGuard lock(mu_);
+      id = next_matcher_id_++;
+    }
     cluster_.add_node(id, std::make_unique<MatcherNode>(id, matcher_config()));
     cluster_.start(id);
     {
-      std::lock_guard lock(mu_);
+      bd::LockGuard lock(mu_);
       matcher_ids_.push_back(id);
     }
     return id;
   }
 
   std::size_t matcher_count() const {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     return matcher_ids_.size();
   }
 
@@ -192,7 +202,7 @@ class Service::Impl {
               if (delivery == nullptr) return;
               DeliveryHandler handler;
               {
-                std::lock_guard lock(mu_);
+                bd::LockGuard lock(mu_);
                 auto it = handlers_.find(delivery->subscriber);
                 if (it != handlers_.end()) handler = it->second;
               }
@@ -205,23 +215,28 @@ class Service::Impl {
     for (std::size_t i = 0; i < config_.dispatchers; ++i) {
       dispatcher_ids_.push_back(kFirstDispatcher + static_cast<NodeId>(i));
     }
-    next_matcher_id_ = kFirstMatcher;
-    for (std::size_t i = 0; i < config_.matchers; ++i) {
-      matcher_ids_.push_back(next_matcher_id_++);
+    std::vector<NodeId> matchers;
+    {
+      bd::LockGuard lock(mu_);
+      next_matcher_id_ = kFirstMatcher;
+      for (std::size_t i = 0; i < config_.matchers; ++i) {
+        matcher_ids_.push_back(next_matcher_id_++);
+      }
+      matchers = matcher_ids_;
     }
 
     std::vector<Range> domains;
     for (std::size_t d = 0; d < config_.schema.dimensions(); ++d) {
       domains.push_back(config_.schema.domain(static_cast<DimId>(d)));
     }
-    const ClusterTable bootstrap = bootstrap_table(matcher_ids_, domains);
+    const ClusterTable bootstrap = bootstrap_table(matchers, domains);
 
     for (NodeId id : dispatcher_ids_) {
       auto node = std::make_unique<DispatcherNode>(id, dispatcher_config());
       node->set_bootstrap(bootstrap);
       cluster_.add_node(id, std::move(node));
     }
-    for (NodeId id : matcher_ids_) {
+    for (NodeId id : matchers) {
       auto node = std::make_unique<MatcherNode>(id, matcher_config());
       node->set_bootstrap(bootstrap);
       cluster_.add_node(id, std::move(node));
@@ -232,14 +247,17 @@ class Service::Impl {
   ServiceConfig config_;
   runtime::ThreadCluster cluster_;
 
+  /// Fixed at build() time, before any node thread exists; read-only after.
   std::vector<NodeId> dispatcher_ids_;
-  std::vector<NodeId> matcher_ids_;
-  NodeId next_matcher_id_ = kFirstMatcher;
 
-  mutable std::mutex mu_;
-  std::unordered_map<SubscriberId, DeliveryHandler> handlers_;
-  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
-  std::unique_ptr<DimensionSelector> selector_;
+  mutable bd::Mutex mu_;
+  std::vector<NodeId> matcher_ids_ BD_GUARDED_BY(mu_);
+  NodeId next_matcher_id_ BD_GUARDED_BY(mu_) = kFirstMatcher;
+  std::unordered_map<SubscriberId, DeliveryHandler> handlers_
+      BD_GUARDED_BY(mu_);
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_
+      BD_GUARDED_BY(mu_);
+  std::unique_ptr<DimensionSelector> selector_ BD_GUARDED_BY(mu_);
 
   std::atomic<SubscriptionId> next_subscription_{1};
   std::atomic<MessageId> next_message_{1};

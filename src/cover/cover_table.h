@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "attr/subscription.h"
+#include "common/affinity.h"
 #include "attr/value.h"
 #include "common/types.h"
 #include "index/subscription_index.h"
@@ -135,13 +136,13 @@ class CoverTable {
 
   /// Registers a raw subscription. The returned ops keep the caller's index
   /// holding exactly one entry per group plus the pass-throughs.
-  AddResult add(const Subscription& raw);
+  BD_NODE_THREAD AddResult add(const Subscription& raw);
 
   /// Unregisters a raw subscription. A group whose last member leaves has
   /// its representative erased and its slot recycled (generation bumped).
   /// Boxes never shrink on member removal; the residual filters keep
   /// correctness and the admission bound is re-tightened conservatively.
-  RemoveResult remove(SubscriptionId id);
+  BD_NODE_THREAD RemoveResult remove(SubscriptionId id);
 
   bool contains(SubscriptionId id) const {
     return member_of_.count(id) != 0 || passthrough_.count(id) != 0;
@@ -151,8 +152,10 @@ class CoverTable {
   /// whose exact predicate accepts `values` (all members for uniform
   /// groups). Returns false for stale ids (dead or recycled group), which
   /// callers treat as an empty expansion.
-  bool expand(SubscriptionId rep_id, const std::vector<Value>& values,
-              std::vector<MatchHit>& out, ExpandStats* stats = nullptr);
+  BD_NODE_THREAD bool expand(SubscriptionId rep_id,
+                             const std::vector<Value>& values,
+                             std::vector<MatchHit>& out,
+                             ExpandStats* stats = nullptr);
 
   /// Brute-force oracle over every raw member and pass-through: the
   /// differential reference the kCover audit and tests compare expanded

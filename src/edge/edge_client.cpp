@@ -90,7 +90,7 @@ bool EdgeClient::handshake(const EdgeHello& hello) {
     }
   }
   {
-    std::lock_guard<std::mutex> lk(wait_mu_);  // pairs with wait_deliveries
+    bd::LockGuard lk(wait_mu_);  // pairs with wait_deliveries
   }
   wait_cv_.notify_all();
   reader_ = std::thread([this] { reader_loop(); });
@@ -109,7 +109,7 @@ void EdgeClient::stop_reader() {
 }
 
 bool EdgeClient::send_env(const Envelope& env) {
-  std::lock_guard<std::mutex> lk(send_mu_);
+  bd::LockGuard lk(send_mu_);
   const int fd = fd_.load();
   if (fd < 0) return false;
   return net::wire::send_frame(fd, kInvalidNode, env);
@@ -141,10 +141,17 @@ bool EdgeClient::ack(std::uint64_t seq) {
 }
 
 bool EdgeClient::wait_deliveries(std::uint64_t n, double timeout_sec) {
-  std::unique_lock<std::mutex> lk(wait_mu_);
-  return wait_cv_.wait_for(
-      lk, std::chrono::duration<double>(timeout_sec),
-      [&] { return deliveries_.load() >= n; });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_sec));
+  bd::UniqueLock lk(wait_mu_);
+  while (deliveries_.load() < n) {
+    if (wait_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      return deliveries_.load() >= n;
+    }
+  }
+  return true;
 }
 
 void EdgeClient::reader_loop() {
@@ -171,7 +178,7 @@ void EdgeClient::reader_loop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lk(wait_mu_);  // pairs with wait_deliveries
+      bd::LockGuard lk(wait_mu_);  // pairs with wait_deliveries
     }
     wait_cv_.notify_all();
   }

@@ -14,14 +14,13 @@
 // acks are sent automatically every `ack_every` events (1 acks each).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "attr/value.h"
+#include "common/thread_safety.h"
 #include "net/protocol.h"
 #include "net/tcp_transport.h"
 
@@ -79,8 +78,12 @@ class EdgeClient {
 
   std::atomic<int> fd_{-1};
   std::thread reader_;
-  std::mutex send_mu_;
+  bd::Mutex send_mu_;  ///< serializes socket writes, guards no fields
 
+  // session_/welcome_* and next_sub_/next_msg_ are caller-thread state;
+  // unacked_ moves between the handshake (before the reader thread exists)
+  // and the reader loop, with the thread creation providing the hand-off —
+  // see the dispatch-before-reader comment in handshake().
   std::uint64_t session_ = 0;
   std::atomic<std::uint64_t> last_seq_{0};
   bool welcome_resumed_ = false;
@@ -90,8 +93,8 @@ class EdgeClient {
   int unacked_ = 0;
 
   std::atomic<std::uint64_t> deliveries_{0};
-  std::mutex wait_mu_;
-  std::condition_variable wait_cv_;
+  bd::Mutex wait_mu_;   ///< empty critical section pairing with wait_cv_
+  bd::CondVar wait_cv_;
 };
 
 }  // namespace bluedove::edge

@@ -112,8 +112,10 @@ struct EdgeFrontend::Reactor {
   int evfd = -1;
   std::thread thread;
 
-  std::mutex mu;
-  std::deque<Task> tasks;  ///< cross-thread inbox, drained on eventfd wake
+  bd::Mutex mu;
+  /// Cross-thread inbox, drained on eventfd wake. The only shared state in
+  /// a Reactor: everything below is owned by the reactor thread.
+  std::deque<Task> tasks BD_GUARDED_BY(mu);
 
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
   std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions;
@@ -233,7 +235,7 @@ void EdgeFrontend::stop() {
     r->conns.clear();
     r->sessions.clear();
     {
-      std::lock_guard<std::mutex> lk(r->mu);
+      bd::LockGuard lk(r->mu);
       for (Task& t : r->tasks) {
         if (t.kind == Task::Kind::kNewConn && t.fd >= 0) ::close(t.fd);
         if (t.kind == Task::Kind::kAdopt && t.conn) ::close(t.conn->fd);
@@ -298,7 +300,7 @@ void EdgeFrontend::accept_loop() {
 void EdgeFrontend::post(Reactor& r, Task&& t) {
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lk(r.mu);
+    bd::LockGuard lk(r.mu);
     wake = r.tasks.empty();
     r.tasks.push_back(std::move(t));
   }
@@ -358,7 +360,7 @@ void EdgeFrontend::reactor_loop(Reactor& r) {
     }
     if (drain_tasks) {
       {
-        std::lock_guard<std::mutex> lk(r.mu);
+        bd::LockGuard lk(r.mu);
         batch.swap(r.tasks);
       }
       for (Task& t : batch) {

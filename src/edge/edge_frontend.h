@@ -48,7 +48,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -56,6 +55,7 @@
 
 #include "common/affinity.h"
 #include "common/serde.h"
+#include "common/thread_safety.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
 

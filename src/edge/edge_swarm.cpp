@@ -64,7 +64,7 @@ double now_sec() { return static_cast<double>(mono_ns()) * 1e-9; }
 struct Swarm::Peer {
   int idx = 0;
   std::atomic<int> fd{-1};
-  std::mutex send_mu;
+  bd::Mutex send_mu;  ///< serializes socket writes, guards no fields
   std::atomic<std::uint64_t> session{0};
   std::atomic<std::uint64_t> last_seq{0};
   std::atomic<bool> live{false};
@@ -83,8 +83,8 @@ struct Swarm::Driver {
   int epfd = -1;
   int evfd = -1;
   std::thread thread;
-  std::mutex mu;
-  std::unordered_map<int, Peer*> by_fd;
+  bd::Mutex mu;
+  std::unordered_map<int, Peer*> by_fd BD_GUARDED_BY(mu);
 };
 
 Swarm::Swarm(SwarmConfig config) : config_(std::move(config)) {
@@ -154,14 +154,14 @@ bool Swarm::connect_peer(Peer& p, int idx, const Envelope* extra) {
   p.fd.store(fd);
   Driver& d = *drivers_[static_cast<std::size_t>(idx) % drivers_.size()];
   {
-    std::lock_guard<std::mutex> lk(d.mu);
+    bd::LockGuard lk(d.mu);
     d.by_fd[fd] = &p;
   }
   ::epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
   if (::epoll_ctl(d.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-    std::lock_guard<std::mutex> lk(d.mu);
+    bd::LockGuard lk(d.mu);
     d.by_fd.erase(fd);
     p.fd.store(-1);
     ::close(fd);
@@ -254,7 +254,7 @@ bool Swarm::publish(const std::vector<Value>& values,
     w.u32(kInvalidNode);
     write_envelope(w, Envelope::of(ClientPublish{std::move(msg)}));
     w.patch_u32(at, static_cast<std::uint32_t>(w.size() - 4));
-    std::lock_guard<std::mutex> lk(p.send_mu);
+    bd::LockGuard lk(p.send_mu);
     const int fd = p.fd.load();
     if (fd < 0) continue;
     return send_all(fd, w.data(), w.size());
@@ -306,7 +306,7 @@ void Swarm::driver_loop(Driver& d) {
       }
       Peer* p = nullptr;
       {
-        std::lock_guard<std::mutex> lk(d.mu);
+        bd::LockGuard lk(d.mu);
         auto it = d.by_fd.find(events[i].data.fd);
         if (it != d.by_fd.end()) p = it->second;
       }
@@ -325,12 +325,12 @@ void Swarm::detach_peer(Driver& d, Peer& p) {
   if (fd < 0) return;
   ::epoll_ctl(d.epfd, EPOLL_CTL_DEL, fd, nullptr);
   {
-    std::lock_guard<std::mutex> lk(d.mu);
+    bd::LockGuard lk(d.mu);
     d.by_fd.erase(fd);
   }
   {
     // Serialize against a publish mid-write on this fd before closing.
-    std::lock_guard<std::mutex> lk(p.send_mu);
+    bd::LockGuard lk(p.send_mu);
     ::close(fd);
   }
   p.in_body = false;
@@ -413,7 +413,7 @@ void Swarm::handle_peer(Driver& d, Peer& p) {
           w.u32(kInvalidNode);
           write_envelope(w, Envelope::of(EdgeAck{ev->seq}));
           w.patch_u32(at, static_cast<std::uint32_t>(w.size() - 4));
-          std::lock_guard<std::mutex> lk(p.send_mu);
+          bd::LockGuard lk(p.send_mu);
           const int cur = p.fd.load();
           // Best effort: acks are cumulative, the next one covers a miss.
           if (cur >= 0) send_all(cur, w.data(), w.size());

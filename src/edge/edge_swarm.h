@@ -19,13 +19,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "attr/value.h"
 #include "common/affinity.h"
+#include "common/thread_safety.h"
 #include "net/protocol.h"
 #include "net/tcp_transport.h"
 #include "obs/metrics.h"

@@ -11,14 +11,14 @@ TcpClient::TcpClient(NodeId node_id, std::uint16_t listen_port,
               if (const auto* d = std::get_if<Delivery>(&env.payload)) {
                 DeliveryHandler handler;
                 {
-                  std::lock_guard lock(mu_);
+                  bd::LockGuard lock(mu_);
                   ++deliveries_;
                   auto it = handlers_.find(d->subscriber);
                   if (it != handlers_.end()) handler = it->second;
                 }
                 if (handler) handler(*d);
               } else if (std::holds_alternative<MatchCompleted>(env.payload)) {
-                std::lock_guard lock(mu_);
+                bd::LockGuard lock(mu_);
                 ++completions_;
               }
             })) {
@@ -31,7 +31,7 @@ SubscriptionId TcpClient::subscribe(std::vector<Range> predicates,
                                     DeliveryHandler handler) {
   Subscription sub;
   {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     sub.id = next_subscription_++;
     sub.subscriber = sub.id;
     sub.ranges = std::move(predicates);
@@ -39,7 +39,7 @@ SubscriptionId TcpClient::subscribe(std::vector<Range> predicates,
     subscriptions_[sub.id] = sub;
   }
   if (!TcpHost::send_once(dispatcher_, Envelope::of(ClientSubscribe{sub}))) {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     handlers_.erase(sub.subscriber);
     subscriptions_.erase(sub.id);
     return 0;
@@ -50,7 +50,7 @@ SubscriptionId TcpClient::subscribe(std::vector<Range> predicates,
 bool TcpClient::unsubscribe(SubscriptionId id) {
   Subscription sub;
   {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     auto it = subscriptions_.find(id);
     if (it == subscriptions_.end()) return false;
     sub = it->second;
@@ -64,7 +64,7 @@ bool TcpClient::unsubscribe(SubscriptionId id) {
 MessageId TcpClient::publish(std::vector<Value> values, std::string payload) {
   Message msg;
   {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     msg.id = next_message_++;
   }
   const MessageId id = msg.id;
@@ -78,12 +78,12 @@ MessageId TcpClient::publish(std::vector<Value> values, std::string payload) {
 }
 
 std::uint64_t TcpClient::deliveries() const {
-  std::lock_guard lock(mu_);
+  bd::LockGuard lock(mu_);
   return deliveries_;
 }
 
 std::uint64_t TcpClient::completions() const {
-  std::lock_guard lock(mu_);
+  bd::LockGuard lock(mu_);
   return completions_;
 }
 

@@ -11,10 +11,10 @@
 // temporary-storage sink.
 
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 
 #include "attr/schema.h"
+#include "common/thread_safety.h"
 #include "net/tcp_transport.h"
 
 namespace bluedove::net {
@@ -47,13 +47,15 @@ class TcpClient {
 
  private:
   TcpEndpoint dispatcher_;
-  mutable std::mutex mu_;
-  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
-  std::unordered_map<SubscriberId, DeliveryHandler> handlers_;
-  SubscriptionId next_subscription_ = 1;
-  MessageId next_message_ = 1;
-  std::uint64_t deliveries_ = 0;
-  std::uint64_t completions_ = 0;
+  mutable bd::Mutex mu_;
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_
+      BD_GUARDED_BY(mu_);
+  std::unordered_map<SubscriberId, DeliveryHandler> handlers_
+      BD_GUARDED_BY(mu_);
+  SubscriptionId next_subscription_ BD_GUARDED_BY(mu_) = 1;
+  MessageId next_message_ BD_GUARDED_BY(mu_) = 1;
+  std::uint64_t deliveries_ BD_GUARDED_BY(mu_) = 0;
+  std::uint64_t completions_ BD_GUARDED_BY(mu_) = 0;
   TcpHost host_;  ///< last member: its threads touch the fields above
 };
 

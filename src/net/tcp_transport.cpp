@@ -130,7 +130,7 @@ class TcpHost::Context final : public NodeContext {
             std::chrono::duration<double>(std::max(delay, 0.0)));
     TimerId id;
     {
-      std::lock_guard lock(host_->mu_);
+      bd::LockGuard lock(host_->mu_);
       id = host_->next_timer_++;
       host_->timers_.emplace(deadline, std::make_pair(id, std::move(fn)));
     }
@@ -139,7 +139,7 @@ class TcpHost::Context final : public NodeContext {
   }
 
   void cancel_timer(TimerId id) override {
-    std::lock_guard lock(host_->mu_);
+    bd::LockGuard lock(host_->mu_);
     for (auto it = host_->timers_.begin(); it != host_->timers_.end(); ++it) {
       if (it->second.first == id) {
         host_->timers_.erase(it);
@@ -228,7 +228,7 @@ TcpHost::TcpHost(NodeId self, std::uint16_t listen_port,
 TcpHost::~TcpHost() { stop(); }
 
 void TcpHost::add_peer(NodeId id, TcpEndpoint endpoint) {
-  std::lock_guard lock(peers_mu_);
+  bd::LockGuard lock(peers_mu_);
   peers_[id] = std::move(endpoint);
   auto it = peer_fds_.find(id);
   if (it != peer_fds_.end()) {
@@ -239,14 +239,18 @@ void TcpHost::add_peer(NodeId id, TcpEndpoint endpoint) {
   if (qit != queues_.end()) {
     // The writer owns the queue's connection; flag it for redial instead of
     // closing it out from under an in-flight sendmsg.
-    std::lock_guard qlock(qit->second->mu);
+    bd::LockGuard qlock(qit->second->mu);
     qit->second->redial = true;
   }
 }
 
 void TcpHost::start() {
-  if (started_ || listen_fd_ < 0) return;
-  started_ = true;
+  if (listen_fd_ < 0) return;
+  {
+    bd::LockGuard lock(mu_);
+    if (started_ || stopping_) return;
+    started_ = true;
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   node_thread_ = std::thread([this] { node_loop(); });
   if (wire_.async()) {
@@ -259,7 +263,7 @@ void TcpHost::start() {
 
 void TcpHost::stop() {
   {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -271,7 +275,7 @@ void TcpHost::stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard lock(writers_mu_);
+    bd::LockGuard lock(writers_mu_);
     writers_stop_.store(true);
   }
   writers_cv_.notify_all();
@@ -280,7 +284,7 @@ void TcpHost::stop() {
     // reading (full socket buffer). shutdown() — unlike close() — makes
     // that syscall return, so the join below cannot hang. Also unblocks
     // reader threads and any sync sender stuck on a learned fd.
-    std::lock_guard lock(peers_mu_);
+    bd::LockGuard lock(peers_mu_);
     for (auto& [id, q] : queues_) {
       const int fd = q->fd.load();  // seq_cst: pairs with the writer's dial
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
@@ -288,7 +292,7 @@ void TcpHost::stop() {
     for (auto& [id, fd] : learned_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   {
-    std::lock_guard lock(readers_mu_);
+    bd::LockGuard lock(readers_mu_);
     for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   for (std::thread& t : writer_threads_) {
@@ -296,11 +300,11 @@ void TcpHost::stop() {
   }
   writer_threads_.clear();
   {
-    std::lock_guard lock(peers_mu_);
+    bd::LockGuard lock(peers_mu_);
     for (auto& [id, fd] : peer_fds_) ::close(fd);
     peer_fds_.clear();
     for (auto& [id, q] : queues_) {
-      std::lock_guard qlock(q->mu);
+      bd::LockGuard qlock(q->mu);
       const int fd = q->fd.exchange(-1);
       if (fd >= 0) ::close(fd);
       q->pending.clear();  // undelivered at shutdown; contract allows it
@@ -309,7 +313,7 @@ void TcpHost::stop() {
   {
     std::vector<std::thread> readers;
     {
-      std::lock_guard lock(readers_mu_);
+      bd::LockGuard lock(readers_mu_);
       readers.swap(reader_threads_);
     }
     for (std::thread& t : readers) {
@@ -330,7 +334,7 @@ void TcpHost::accept_loop() {
     if (fd < 0) return;  // listener closed: shutting down
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    std::lock_guard lock(readers_mu_);
+    bd::LockGuard lock(readers_mu_);
     accepted_fds_.push_back(fd);
     reader_threads_.emplace_back([this, fd] { reader_loop(fd); });
   }
@@ -362,7 +366,7 @@ void TcpHost::reader_loop(int fd) {
     if (frame.from != kInvalidNode) {
       // Learn the return path so replies reach peers that have no
       // registered endpoint (admin scrapers, NAT'd clients).
-      std::lock_guard lock(peers_mu_);
+      bd::LockGuard lock(peers_mu_);
       learned_fds_[frame.from] = fd;
     }
     // One task per frame: a coalesced EnvelopeBatch frame costs one queue
@@ -373,7 +377,7 @@ void TcpHost::reader_loop(int fd) {
     });
   }
   {
-    std::lock_guard lock(peers_mu_);
+    bd::LockGuard lock(peers_mu_);
     for (auto it = learned_fds_.begin(); it != learned_fds_.end();) {
       if (it->second == fd) {
         it = learned_fds_.erase(it);
@@ -383,7 +387,7 @@ void TcpHost::reader_loop(int fd) {
     }
   }
   {
-    std::lock_guard lock(readers_mu_);
+    bd::LockGuard lock(readers_mu_);
     std::erase(accepted_fds_, fd);
   }
   ::close(fd);
@@ -393,7 +397,7 @@ bool TcpHost::enable_offload(int workers, std::size_t lanes) {
   if (workers < 1) return false;
   if (executor_ != nullptr) return true;
   {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     if (stopping_) return false;
   }
   runtime::MatchExecutorConfig cfg;
@@ -415,7 +419,7 @@ void TcpHost::inject(NodeId from, Envelope&& env) {
 
 void TcpHost::enqueue_task(std::function<void()> fn) {
   {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     if (stopping_) return;
     tasks_.push_back(std::move(fn));
   }
@@ -423,7 +427,8 @@ void TcpHost::enqueue_task(std::function<void()> fn) {
 }
 
 int TcpHost::connect_peer(NodeId peer) {
-  // peers_mu_ held by caller.
+  // BD_REQUIRES(peers_mu_): the annotation replaces the old "held by
+  // caller" comment and Clang now proves it at every call site.
   auto fd_it = peer_fds_.find(peer);
   if (fd_it != peer_fds_.end()) return fd_it->second;
   auto ep_it = peers_.find(peer);
@@ -449,7 +454,7 @@ bool TcpHost::send_sync(NodeId peer, const Envelope& env) {
   // patched in place, no second copy), then write it wherever it fits.
   thread_local serde::Writer w;
   wire::build_frame(w, self_, env);
-  std::lock_guard lock(peers_mu_);
+  bd::LockGuard lock(peers_mu_);
   // Dialable endpoint first, with one retry on a fresh connection: a cached
   // fd may be a stale connection the peer already closed.
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -485,7 +490,7 @@ bool TcpHost::send_sync(NodeId peer, const Envelope& env) {
 // ---------------------------------------------------------------------------
 
 std::vector<std::uint8_t> TcpHost::pool_get() {
-  std::lock_guard lock(pool_mu_);
+  bd::LockGuard lock(pool_mu_);
   if (pool_.empty()) return {};
   std::vector<std::uint8_t> buf = std::move(pool_.back());
   pool_.pop_back();
@@ -494,14 +499,14 @@ std::vector<std::uint8_t> TcpHost::pool_get() {
 
 void TcpHost::pool_put(std::vector<std::uint8_t> buf) {
   buf.clear();
-  std::lock_guard lock(pool_mu_);
+  bd::LockGuard lock(pool_mu_);
   if (pool_.size() < 2 * wire_.queue_capacity) pool_.push_back(std::move(buf));
 }
 
 bool TcpHost::enqueue_async(NodeId peer, const Envelope& env) {
   PeerQueue* q = nullptr;
   {
-    std::lock_guard lock(peers_mu_);
+    bd::LockGuard lock(peers_mu_);
     // A peer that is neither dialable nor learned can never be flushed:
     // drop at enqueue, same contract as the synchronous path.
     if (peers_.find(peer) == peers_.end() &&
@@ -526,7 +531,7 @@ bool TcpHost::enqueue_async(NodeId peer, const Envelope& env) {
   std::vector<std::uint8_t> buf = w.take();
   bool make_dirty = false;
   {
-    std::lock_guard lock(q->mu);
+    bd::LockGuard lock(q->mu);
     if (q->pending.size() >= wire_.queue_capacity) {
       m_queue_drops_->inc();
       // (buf returns to the pool below)
@@ -547,7 +552,7 @@ bool TcpHost::enqueue_async(NodeId peer, const Envelope& env) {
   }
   if (make_dirty) {
     {
-      std::lock_guard lock(writers_mu_);
+      bd::LockGuard lock(writers_mu_);
       dirty_.push_back(q);
     }
     writers_cv_.notify_one();
@@ -562,8 +567,11 @@ void TcpHost::writer_loop() {
   while (true) {
     PeerQueue* q = nullptr;
     {
-      std::unique_lock lock(writers_mu_);
-      writers_cv_.wait(lock, [&] { return writers_stop_ || !dirty_.empty(); });
+      bd::UniqueLock lock(writers_mu_);
+      while (!writers_stop_.load(std::memory_order_acquire) &&
+             dirty_.empty()) {
+        writers_cv_.wait(lock);
+      }
       if (dirty_.empty()) return;  // stopping and nothing left to drain
       q = dirty_.front();
       dirty_.pop_front();
@@ -573,14 +581,19 @@ void TcpHost::writer_loop() {
       // delay for fewer, fuller frames.
       bool partial;
       {
-        std::lock_guard lock(q->mu);
+        bd::LockGuard lock(q->mu);
         partial = q->pending.size() < static_cast<std::size_t>(wire_.batch);
       }
       if (partial) {
-        std::unique_lock lock(writers_mu_);
-        writers_cv_.wait_for(
-            lock, std::chrono::duration<double>(wire_.flush_interval),
-            [&] { return writers_stop_.load(); });
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(wire_.flush_interval));
+        bd::UniqueLock lock(writers_mu_);
+        while (!writers_stop_.load() &&
+               writers_cv_.wait_until(lock, deadline) !=
+                   std::cv_status::timeout) {
+        }
       }
     }
     drain_peer(*q);
@@ -591,7 +604,7 @@ void TcpHost::drain_peer(PeerQueue& q) {
   while (true) {
     std::vector<std::vector<std::uint8_t>> bufs;
     {
-      std::lock_guard lock(q.mu);
+      bd::LockGuard lock(q.mu);
       if (q.pending.empty()) {
         // Only here does the peer stop being "dirty": any enqueue that
         // happened while we were flushing is either in `pending` (we loop)
@@ -676,7 +689,7 @@ bool TcpHost::flush_iovecs(PeerQueue& q, const std::vector<::iovec>& iov) {
     // loop counts the remainder as dropped and exits.
     if (attempt > 0 && writers_stop_.load(std::memory_order_relaxed)) break;
     {
-      std::lock_guard lock(q.mu);
+      bd::LockGuard lock(q.mu);
       if (q.redial) {
         const int stale = q.fd.exchange(-1);
         if (stale >= 0) ::close(stale);
@@ -688,7 +701,7 @@ bool TcpHost::flush_iovecs(PeerQueue& q, const std::vector<::iovec>& iov) {
       TcpEndpoint ep;
       bool have_endpoint = false;
       {
-        std::lock_guard lock(peers_mu_);
+        bd::LockGuard lock(peers_mu_);
         auto it = peers_.find(q.id);
         if (it != peers_.end()) {
           ep = it->second;
@@ -716,7 +729,7 @@ bool TcpHost::flush_iovecs(PeerQueue& q, const std::vector<::iovec>& iov) {
   }
   // Learned inbound connection fallback, written under peers_mu_ so the
   // owning reader cannot unmap-and-close the fd mid-write.
-  std::lock_guard lock(peers_mu_);
+  bd::LockGuard lock(peers_mu_);
   auto it = learned_fds_.find(q.id);
   if (it == learned_fds_.end()) return false;
   std::vector<::iovec> scratch = iov;
@@ -736,7 +749,7 @@ void TcpHost::node_loop() {
   obs::Recorder::bind_node(self_);
   obs::Recorder::label_thread("node" + std::to_string(self_));
   node_->start(*ctx_);
-  std::unique_lock lock(mu_);
+  bd::UniqueLock lock(mu_);
   while (true) {
     const auto now = std::chrono::steady_clock::now();
     while (!timers_.empty() && timers_.begin()->first <= now) {
@@ -756,9 +769,9 @@ void TcpHost::node_loop() {
       continue;
     }
     if (timers_.empty()) {
-      cv_.wait(lock, [&] {
-        return stopping_ || !tasks_.empty() || !timers_.empty();
-      });
+      while (!stopping_ && tasks_.empty() && timers_.empty()) {
+        cv_.wait(lock);
+      }
     } else {
       cv_.wait_until(lock, timers_.begin()->first);
     }

@@ -37,18 +37,17 @@
 #include <sys/uio.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_safety.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "runtime/match_executor.h"
@@ -154,22 +153,26 @@ class TcpHost {
   struct PeerQueue {
     explicit PeerQueue(NodeId peer) : id(peer) {}
     const NodeId id;
-    std::mutex mu;
-    std::deque<std::vector<std::uint8_t>> pending;  ///< serialized envelopes
-    bool draining = false;
+    bd::Mutex mu;
+    /// Serialized envelopes awaiting a writer.
+    std::deque<std::vector<std::uint8_t>> pending BD_GUARDED_BY(mu);
+    bool draining BD_GUARDED_BY(mu) = false;
     /// Writer-owned outbound connection. Atomic (seq_cst) because stop()
     /// scans it to shutdown() a socket a writer may be blocked on: the
     /// writer stores the fd then checks writers_stop_, stop() sets
     /// writers_stop_ then scans — one side always observes the other.
     std::atomic<int> fd{-1};
-    bool redial = false;  ///< endpoint changed; writer must reconnect
+    /// Endpoint changed; writer must reconnect.
+    bool redial BD_GUARDED_BY(mu) = false;
+    /// Gauges are registered under peers_mu_ before the queue becomes
+    /// reachable to writers, then only read through stable pointers.
     obs::Gauge* depth = nullptr;       ///< wire.peer<id>.queue_depth
     obs::Gauge* high_water = nullptr;  ///< wire.peer<id>.queue_high_water
   };
 
   void accept_loop();
   void reader_loop(int fd);
-  void node_loop();
+  BD_NODE_THREAD void node_loop();
   void writer_loop();
   void enqueue_task(std::function<void()> fn);
   /// Creates the node's offload worker pool (idempotent); completions are
@@ -190,7 +193,7 @@ class TcpHost {
   /// Writes pre-built iovecs to the peer's connection with one reconnect
   /// retry (the cached connection may be stale).
   bool flush_iovecs(PeerQueue& p, const std::vector<::iovec>& iov);
-  int connect_peer(NodeId peer);
+  int connect_peer(NodeId peer) BD_REQUIRES(peers_mu_);
 
   std::vector<std::uint8_t> pool_get();
   void pool_put(std::vector<std::uint8_t> buf);
@@ -211,22 +214,26 @@ class TcpHost {
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
 
-  std::mutex peers_mu_;
-  std::map<NodeId, TcpEndpoint> peers_;
-  std::map<NodeId, int> peer_fds_;  ///< cached outgoing connections (sync path)
-  std::map<NodeId, std::unique_ptr<PeerQueue>> queues_;  ///< async path
+  mutable bd::Mutex peers_mu_;
+  std::map<NodeId, TcpEndpoint> peers_ BD_GUARDED_BY(peers_mu_);
+  /// Cached outgoing connections (sync path).
+  std::map<NodeId, int> peer_fds_ BD_GUARDED_BY(peers_mu_);
+  /// Async path. The map is guarded; the pointed-to queues are stable
+  /// (never erased before stop) and carry their own lock.
+  std::map<NodeId, std::unique_ptr<PeerQueue>> queues_
+      BD_GUARDED_BY(peers_mu_);
   /// Learned return paths: sender id -> inbound socket it last spoke on.
   /// Lets the node reply to peers with no registered endpoint (e.g. the
   /// `bluedove_cli stats` scraper) over the connection they opened. The
   /// fds are owned by their reader threads, never closed through this map;
   /// writes to them happen under peers_mu_, which the owning reader also
   /// takes before unmapping (so the fd cannot be closed mid-write).
-  std::map<NodeId, int> learned_fds_;
+  std::map<NodeId, int> learned_fds_ BD_GUARDED_BY(peers_mu_);
 
   // Writer pool: queue of dirty peers + shutdown flag.
-  std::mutex writers_mu_;
-  std::condition_variable writers_cv_;
-  std::deque<PeerQueue*> dirty_;
+  bd::Mutex writers_mu_;
+  bd::CondVar writers_cv_;
+  std::deque<PeerQueue*> dirty_ BD_GUARDED_BY(writers_mu_);
   /// Set under writers_mu_ (cv discipline) but also read lock-free from
   /// flush_iovecs so a writer blocked against a slow peer gives up instead
   /// of redialing during shutdown.
@@ -235,25 +242,26 @@ class TcpHost {
 
   // Pool of serialized-envelope buffers recycled between node thread and
   // writers (capacity is retained across reuse).
-  std::mutex pool_mu_;
-  std::vector<std::vector<std::uint8_t>> pool_;
+  bd::Mutex pool_mu_;
+  std::vector<std::vector<std::uint8_t>> pool_ BD_GUARDED_BY(pool_mu_);
 
   // Node event loop (tasks + timers), same discipline as ThreadCluster.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  bd::Mutex mu_;
+  bd::CondVar cv_;
+  std::deque<std::function<void()>> tasks_ BD_GUARDED_BY(mu_);
   std::multimap<std::chrono::steady_clock::time_point,
                 std::pair<TimerId, std::function<void()>>>
-      timers_;
-  TimerId next_timer_ = 1;
-  bool stopping_ = false;
-  bool started_ = false;
+      timers_ BD_GUARDED_BY(mu_);
+  TimerId next_timer_ BD_GUARDED_BY(mu_) = 1;
+  bool stopping_ BD_GUARDED_BY(mu_) = false;
+  bool started_ BD_GUARDED_BY(mu_) = false;
 
   std::thread accept_thread_;
   std::thread node_thread_;
-  std::mutex readers_mu_;
-  std::vector<std::thread> reader_threads_;
-  std::vector<int> accepted_fds_;  ///< open inbound sockets (for shutdown)
+  bd::Mutex readers_mu_;
+  std::vector<std::thread> reader_threads_ BD_GUARDED_BY(readers_mu_);
+  /// Open inbound sockets (for shutdown).
+  std::vector<int> accepted_fds_ BD_GUARDED_BY(readers_mu_);
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> dropped_sends_{0};

@@ -107,21 +107,21 @@ void HistogramSnapshot::merge(const HistogramSnapshot& other) {
 // ---------------------------------------------------------------------------
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  bd::LockGuard lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  bd::LockGuard lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  bd::LockGuard lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return *slot;
@@ -129,7 +129,7 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lock(mu_);
+  bd::LockGuard lock(mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) snap.histograms[name] = h->snapshot();

@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include "common/thread_safety.h"
 #include <string>
 #include <vector>
 
@@ -133,17 +133,18 @@ struct MetricsSnapshot {
 /// as long as the registry, so cached pointers stay valid.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  LatencyHistogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) BD_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) BD_EXCLUDES(mu_);
+  LatencyHistogram& histogram(const std::string& name) BD_EXCLUDES(mu_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const BD_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable bd::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ BD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ BD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      BD_GUARDED_BY(mu_);
 };
 
 }  // namespace bluedove::obs

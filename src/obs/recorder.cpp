@@ -1,11 +1,12 @@
 #include "obs/recorder.h"
 
+#include "common/thread_safety.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 namespace bluedove::obs {
@@ -23,8 +24,8 @@ struct Ring {
   const std::uint64_t ordinal;
   std::vector<RecEvent> slots;
   std::atomic<std::uint64_t> head{0};
-  std::mutex label_mu;  // label writes are cold (once per thread)
-  std::string label;
+  bd::Mutex label_mu;  // label writes are cold (once per thread)
+  std::string label BD_GUARDED_BY(label_mu);
 };
 
 std::size_t round_pow2(std::size_t n) {
@@ -37,14 +38,14 @@ std::size_t round_pow2(std::size_t n) {
 /// Leaked on purpose: exiting threads leave their history dumpable, and the
 /// audit fail-fast path may dump during process teardown.
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<Ring>> rings;
-  std::vector<std::string> names;
-  std::unordered_map<std::string, std::uint16_t> name_ids;
-  std::size_t default_events = Recorder::kDefaultRingEvents;
+  bd::Mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings BD_GUARDED_BY(mu);
+  std::vector<std::string> names BD_GUARDED_BY(mu);
+  std::unordered_map<std::string, std::uint16_t> name_ids BD_GUARDED_BY(mu);
+  std::size_t default_events BD_GUARDED_BY(mu) = Recorder::kDefaultRingEvents;
 
-  Ring* register_thread() {
-    std::lock_guard<std::mutex> lock(mu);
+  Ring* register_thread() BD_EXCLUDES(mu) {
+    bd::LockGuard lock(mu);
     rings.push_back(
         std::make_unique<Ring>(round_pow2(default_events), rings.size()));
     return rings.back().get();
@@ -99,7 +100,7 @@ void Recorder::set_enabled(bool on) {
 
 std::uint16_t Recorder::intern(const std::string& name) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  bd::LockGuard lock(reg.mu);
   auto it = reg.name_ids.find(name);
   if (it != reg.name_ids.end()) return it->second;
   const auto id = static_cast<std::uint16_t>(reg.names.size());
@@ -110,7 +111,7 @@ std::uint16_t Recorder::intern(const std::string& name) {
 
 std::vector<std::string> Recorder::names() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  bd::LockGuard lock(reg.mu);
   return reg.names;
 }
 
@@ -120,7 +121,7 @@ NodeId Recorder::bound_node() { return t_node; }
 
 void Recorder::label_thread(const std::string& label) {
   Ring& ring = my_ring();
-  std::lock_guard<std::mutex> lock(ring.label_mu);
+  bd::LockGuard lock(ring.label_mu);
   ring.label = label;
 }
 
@@ -155,7 +156,7 @@ Recorder::Dump Recorder::dump() {
   std::vector<Ring*> rings;
   Dump out;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    bd::LockGuard lock(reg.mu);
     rings.reserve(reg.rings.size());
     for (const auto& r : reg.rings) rings.push_back(r.get());
     out.names = reg.names;
@@ -164,7 +165,7 @@ Recorder::Dump Recorder::dump() {
     ThreadDump td;
     td.ordinal = ring->ordinal;
     {
-      std::lock_guard<std::mutex> lock(ring->label_mu);
+      bd::LockGuard lock(ring->label_mu);
       td.label = ring->label;
     }
     const std::uint64_t cap = ring->mask + 1;
@@ -193,13 +194,13 @@ Recorder::Dump Recorder::dump() {
 
 void Recorder::set_default_ring_events(std::size_t events) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  bd::LockGuard lock(reg.mu);
   reg.default_events = round_pow2(events == 0 ? 1 : events);
 }
 
 std::size_t Recorder::thread_count() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  bd::LockGuard lock(reg.mu);
   return reg.rings.size();
 }
 

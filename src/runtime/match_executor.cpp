@@ -56,7 +56,7 @@ bool MatchExecutor::submit(std::size_t lane, OffloadWork work,
   }
   Lane& l = *lanes_[lane % lanes_.size()];
   {
-    std::lock_guard lock(l.mu);
+    bd::LockGuard lock(l.mu);
     if (l.jobs.size() >= config_.lane_capacity) {
       if (m_rejects_ != nullptr) m_rejects_->inc();
       return false;
@@ -64,13 +64,18 @@ bool MatchExecutor::submit(std::size_t lane, OffloadWork work,
     l.jobs.push_back(Job{std::move(work), std::move(done), Clock::now()});
   }
   pending_.fetch_add(1, std::memory_order_release);
+  // Bridge the sleep mutex before notifying: without it the notify can land
+  // in the window between an idle worker's pending_ check and its block on
+  // sleep_cv_, and this job would wait for an unrelated future submit to
+  // wake anyone (lost wakeup — found by the thread-safety audit, PR 10).
+  { bd::LockGuard lock(sleep_mu_); }
   sleep_cv_.notify_one();
   return true;
 }
 
 std::optional<MatchExecutor::Job> MatchExecutor::take(std::size_t lane) {
   Lane& l = *lanes_[lane];
-  std::lock_guard lock(l.mu);
+  bd::LockGuard lock(l.mu);
   if (l.jobs.empty()) return std::nullopt;
   Job job = std::move(l.jobs.front());
   l.jobs.pop_front();
@@ -124,18 +129,18 @@ void MatchExecutor::worker_loop(int index) {
       break;
     }
     if (ran) continue;
-    std::unique_lock lock(sleep_mu_);
-    sleep_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) != 0;
-    });
+    bd::UniqueLock lock(sleep_mu_);
+    while (!stop_.load(std::memory_order_acquire) &&
+           pending_.load(std::memory_order_acquire) == 0) {
+      sleep_cv_.wait(lock);
+    }
     if (stop_.load(std::memory_order_acquire)) return;
   }
 }
 
 void MatchExecutor::stop() {
   {
-    std::lock_guard lock(sleep_mu_);
+    bd::LockGuard lock(sleep_mu_);
     if (stopped_) return;
     stopped_ = true;
     stop_.store(true, std::memory_order_release);
@@ -146,7 +151,7 @@ void MatchExecutor::stop() {
   }
   // Queued-but-unstarted jobs are discarded per the stop() contract.
   for (auto& lane : lanes_) {
-    std::lock_guard lock(lane->mu);
+    bd::LockGuard lock(lane->mu);
     lane->jobs.clear();
   }
   pending_.store(0, std::memory_order_release);

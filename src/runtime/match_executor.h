@@ -18,18 +18,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/offload.h"
+#include "common/thread_safety.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 
@@ -69,7 +69,8 @@ class MatchExecutor {
   /// lane is full or the executor is stopping — in that case nothing runs
   /// and the caller still owns the problem (run inline). Safe only from the
   /// owning node's context (one producer); workers are the consumers.
-  bool submit(std::size_t lane, OffloadWork work, OffloadDone done);
+  BD_NODE_THREAD bool submit(std::size_t lane, OffloadWork work,
+                             OffloadDone done);
 
   /// Joins the workers. Jobs already running finish (their completions go
   /// through `post`, which may drop them at host shutdown); jobs still
@@ -91,11 +92,11 @@ class MatchExecutor {
   /// One dimension's job queue. A lane is MPMC in practice: the node thread
   /// produces, its home worker and any thief consume.
   struct Lane {
-    std::mutex mu;
-    std::deque<Job> jobs;
+    bd::Mutex mu;
+    std::deque<Job> jobs BD_GUARDED_BY(mu);
   };
 
-  void worker_loop(int index);
+  BD_WORKER_THREAD void worker_loop(int index);
   std::optional<Job> take(std::size_t lane);
 
   MatchExecutorConfig config_;
@@ -104,11 +105,11 @@ class MatchExecutor {
   std::vector<std::thread> threads_;
 
   // Sleep/wake: workers nap here when every lane is empty.
-  std::mutex sleep_mu_;
-  std::condition_variable sleep_cv_;
+  bd::Mutex sleep_mu_;
+  bd::CondVar sleep_cv_;
   std::atomic<std::size_t> pending_{0};  ///< queued (not yet started) jobs
   std::atomic<bool> stop_{false};
-  bool stopped_ = false;  ///< stop() ran to completion (guarded by sleep_mu_)
+  bool stopped_ BD_GUARDED_BY(sleep_mu_) = false;  ///< stop() completed
 
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> completed_{0};

@@ -49,25 +49,29 @@ struct ThreadCluster::NodeRuntime {
   /// snapshot under runtime.node<id>.
   obs::MetricsRegistry exec_metrics;
 
-  mutable std::mutex mu;
-  std::condition_variable cv;
+  mutable bd::Mutex mu;
+  bd::CondVar cv;
   /// Messages and deferred completions, FIFO.
-  std::deque<std::function<void()>> tasks;
+  std::deque<std::function<void()>> tasks BD_GUARDED_BY(mu);
   /// Pending timers keyed by deadline.
   std::multimap<Clock::time_point, std::pair<TimerId, std::function<void()>>>
-      timers;
-  std::uint64_t next_timer_id = 1;
-  bool stopping = false;
-  bool started = false;
+      timers BD_GUARDED_BY(mu);
+  std::uint64_t next_timer_id BD_GUARDED_BY(mu) = 1;
+  bool stopping BD_GUARDED_BY(mu) = false;
+  bool started BD_GUARDED_BY(mu) = false;
+  /// Written by start(), joined by stop(); the control-plane callers are
+  /// serialized by the `started`/`stopping` handshake under mu.
   std::thread thread;
   std::size_t inbox_capacity = 65536;
   /// SEDA-stage instrumentation for the task queue (messages + deferred
   /// completions): depth, high-water mark, drops when the inbox is full.
   QueueStats inbox_stats;
-  /// Offload worker pool; created lazily by Context::enable_offload.
-  /// Declared last so it is destroyed first: its workers reference the
-  /// fields above through the completion-post closure.
-  std::unique_ptr<MatchExecutor> executor;
+  /// Offload worker pool; created lazily by Context::enable_offload on the
+  /// node thread while e.g. a metrics scraper may already be snapshotting,
+  /// so the pointer itself is published under mu. Declared last so it is
+  /// destroyed first: its workers reference the fields above through the
+  /// completion-post closure.
+  std::unique_ptr<MatchExecutor> executor BD_GUARDED_BY(mu);
 };
 
 ThreadCluster::ThreadCluster(ThreadClusterConfig config)
@@ -86,33 +90,37 @@ void ThreadCluster::add_node(NodeId id, std::unique_ptr<Node> node) {
   rt->node = std::move(node);
   rt->ctx = std::make_unique<Context>(this, id, rt->seed);
   rt->inbox_capacity = config_.inbox_capacity;
-  std::lock_guard lock(nodes_mu_);
+  bd::LockGuard lock(nodes_mu_);
   nodes_[id] = std::move(rt);
 }
 
 ThreadCluster::NodeRuntime* ThreadCluster::runtime(NodeId id) {
-  std::lock_guard lock(nodes_mu_);
+  bd::LockGuard lock(nodes_mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 const ThreadCluster::NodeRuntime* ThreadCluster::runtime(NodeId id) const {
-  std::lock_guard lock(nodes_mu_);
+  bd::LockGuard lock(nodes_mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 void ThreadCluster::start(NodeId id) {
   NodeRuntime* rt = runtime(id);
-  if (rt == nullptr || rt->started) return;
-  rt->started = true;
+  if (rt == nullptr) return;
+  {
+    bd::LockGuard lock(rt->mu);
+    if (rt->started) return;  // racing second start() loses here
+    rt->started = true;
+  }
   rt->thread = std::thread([this, rt] { node_loop(*rt); });
 }
 
 void ThreadCluster::start_all() {
   std::vector<NodeId> ids;
   {
-    std::lock_guard lock(nodes_mu_);
+    bd::LockGuard lock(nodes_mu_);
     for (const auto& [id, rt] : nodes_) ids.push_back(id);
   }
   for (NodeId id : ids) start(id);
@@ -120,10 +128,10 @@ void ThreadCluster::start_all() {
 
 void ThreadCluster::stop(NodeId id) {
   NodeRuntime* rt = runtime(id);
-  if (rt == nullptr || !rt->started) return;
+  if (rt == nullptr) return;
   {
-    std::lock_guard lock(rt->mu);
-    if (rt->stopping) return;
+    bd::LockGuard lock(rt->mu);
+    if (!rt->started || rt->stopping) return;
     rt->stopping = true;
   }
   rt->cv.notify_all();
@@ -131,7 +139,12 @@ void ThreadCluster::stop(NodeId id) {
   // Stop the offload pool after the node thread is gone: no new submissions
   // can arrive, running jobs finish, and their completions are dropped by
   // post_completion's stopping check.
-  if (rt->executor != nullptr) rt->executor->stop();
+  MatchExecutor* executor = nullptr;
+  {
+    bd::LockGuard lock(rt->mu);
+    executor = rt->executor.get();
+  }
+  if (executor != nullptr) executor->stop();
   // The inbox is quiescent now (producers bail on `stopping` before touching
   // the counters), so its accounting must close exactly.
   const QueueStats& s = rt->inbox_stats;
@@ -146,7 +159,7 @@ void ThreadCluster::stop(NodeId id) {
 void ThreadCluster::shutdown() {
   std::vector<NodeId> ids;
   {
-    std::lock_guard lock(nodes_mu_);
+    bd::LockGuard lock(nodes_mu_);
     for (const auto& [id, rt] : nodes_) ids.push_back(id);
   }
   for (NodeId id : ids) stop(id);
@@ -154,9 +167,9 @@ void ThreadCluster::shutdown() {
 
 bool ThreadCluster::running(NodeId id) const {
   const NodeRuntime* rt = runtime(id);
-  if (rt == nullptr || !rt->started) return false;
-  std::lock_guard lock(rt->mu);
-  return !rt->stopping;
+  if (rt == nullptr) return false;
+  bd::LockGuard lock(rt->mu);
+  return rt->started && !rt->stopping;
 }
 
 Node* ThreadCluster::node(NodeId id) {
@@ -166,12 +179,18 @@ Node* ThreadCluster::node(NodeId id) {
 
 void ThreadCluster::enqueue(NodeId to, NodeId from, Envelope env) {
   NodeRuntime* rt = runtime(to);
-  if (rt == nullptr || !rt->started) {
+  if (rt == nullptr) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   {
-    std::lock_guard lock(rt->mu);
+    bd::LockGuard lock(rt->mu);
+    if (!rt->started) {
+      // Never accepting yet: a cluster-level drop, but not an inbox drop,
+      // so the per-node stats stay untouched.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (rt->stopping || rt->tasks.size() >= rt->inbox_capacity) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       rt->inbox_stats.dropped.fetch_add(1, std::memory_order_relaxed);
@@ -199,7 +218,7 @@ void ThreadCluster::node_loop(NodeRuntime& rt) {
   obs::Recorder::bind_node(rt.id);
   obs::Recorder::label_thread("node" + std::to_string(rt.id));
   rt.node->start(*rt.ctx);
-  std::unique_lock lock(rt.mu);
+  bd::UniqueLock lock(rt.mu);
   while (true) {
     // Fire due timers.
     const auto now_tp = Clock::now();
@@ -221,9 +240,9 @@ void ThreadCluster::node_loop(NodeRuntime& rt) {
       continue;
     }
     if (rt.timers.empty()) {
-      rt.cv.wait(lock,
-                 [&] { return rt.stopping || !rt.tasks.empty() ||
-                              !rt.timers.empty(); });
+      while (!rt.stopping && rt.tasks.empty() && rt.timers.empty()) {
+        rt.cv.wait(lock);
+      }
     } else {
       rt.cv.wait_until(lock, rt.timers.begin()->first);
     }
@@ -241,7 +260,7 @@ TimerId ThreadCluster::Context::set_timer(Timestamp delay,
                          std::chrono::duration<double>(std::max(delay, 0.0)));
   TimerId id = 0;
   {
-    std::lock_guard lock(rt->mu);
+    bd::LockGuard lock(rt->mu);
     id = rt->next_timer_id++;
     rt->timers.emplace(deadline, std::make_pair(id, std::move(fn)));
   }
@@ -252,7 +271,7 @@ TimerId ThreadCluster::Context::set_timer(Timestamp delay,
 void ThreadCluster::Context::cancel_timer(TimerId id) {
   NodeRuntime* rt = cluster_->runtime(id_);
   if (rt == nullptr || id == kInvalidTimer) return;
-  std::lock_guard lock(rt->mu);
+  bd::LockGuard lock(rt->mu);
   for (auto it = rt->timers.begin(); it != rt->timers.end(); ++it) {
     if (it->second.first == id) {
       rt->timers.erase(it);
@@ -270,7 +289,7 @@ void ThreadCluster::Context::charge(double /*work_units*/,
   NodeRuntime* rt = cluster_->runtime(id_);
   if (rt == nullptr) return;
   {
-    std::lock_guard lock(rt->mu);
+    bd::LockGuard lock(rt->mu);
     if (rt->stopping) return;
     rt->tasks.push_back(std::move(done));
     rt->inbox_stats.on_enqueue();
@@ -281,25 +300,32 @@ void ThreadCluster::Context::charge(double /*work_units*/,
 bool ThreadCluster::enable_offload(NodeId id, int workers, std::size_t lanes) {
   NodeRuntime* rt = runtime(id);
   if (rt == nullptr || workers < 1) return false;
-  if (rt->executor != nullptr) return true;
+  {
+    bd::LockGuard lock(rt->mu);
+    if (rt->executor != nullptr) return true;
+  }
   MatchExecutorConfig cfg;
   cfg.workers = workers;
   cfg.lanes = std::max<std::size_t>(lanes, 1);
   cfg.lane_capacity = rt->inbox_capacity;
   cfg.seed = rt->seed;
   cfg.owner = id;
-  rt->executor = std::make_unique<MatchExecutor>(
+  auto executor = std::make_unique<MatchExecutor>(
       cfg,
       [this, rt](std::function<void()> fn) {
         post_completion(*rt, std::move(fn));
       },
       &rt->exec_metrics);
+  // Publish under the node lock: a metrics scraper may already be walking
+  // nodes_ and dereferencing rt->executor while Node::start runs here.
+  bd::LockGuard lock(rt->mu);
+  rt->executor = std::move(executor);
   return true;
 }
 
 void ThreadCluster::post_completion(NodeRuntime& rt, std::function<void()> fn) {
   {
-    std::lock_guard lock(rt.mu);
+    bd::LockGuard lock(rt.mu);
     if (rt.stopping) return;
     rt.tasks.push_back(std::move(fn));
     rt.inbox_stats.on_enqueue();
@@ -310,8 +336,12 @@ void ThreadCluster::post_completion(NodeRuntime& rt, std::function<void()> fn) {
 void ThreadCluster::Context::offload(std::size_t lane, OffloadWork work,
                                      OffloadDone done) {
   NodeRuntime* rt = cluster_->runtime(id_);
-  if (rt != nullptr && rt->executor != nullptr &&
-      rt->executor->submit(lane, work, done)) {
+  MatchExecutor* executor = nullptr;
+  if (rt != nullptr) {
+    bd::LockGuard lock(rt->mu);
+    executor = rt->executor.get();
+  }
+  if (executor != nullptr && executor->submit(lane, work, done)) {
     return;
   }
   // No pool (enable_offload never accepted) or the lane is full: run inline
@@ -329,7 +359,7 @@ const QueueStats* ThreadCluster::inbox_stats(NodeId id) const {
 
 obs::MetricsSnapshot ThreadCluster::metrics_snapshot() const {
   obs::MetricsSnapshot snap;
-  std::lock_guard lock(nodes_mu_);
+  bd::LockGuard lock(nodes_mu_);
   for (const auto& [id, rt] : nodes_) {
     const QueueStats& s = rt->inbox_stats;
     const std::string prefix = "runtime.node" + std::to_string(id);
@@ -343,6 +373,7 @@ obs::MetricsSnapshot ThreadCluster::metrics_snapshot() const {
         s.dequeued.load(std::memory_order_relaxed);
     snap.counters[prefix + ".inbox_dropped"] =
         s.dropped.load(std::memory_order_relaxed);
+    bd::LockGuard node_lock(rt->mu);
     if (rt->executor != nullptr) {
       snap.merge(rt->exec_metrics.snapshot().prefixed(prefix + "."));
     }

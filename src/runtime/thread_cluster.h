@@ -8,17 +8,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/bounded_queue.h"
+#include "common/thread_safety.h"
 #include "common/rng.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -83,10 +83,10 @@ class ThreadCluster {
   struct NodeRuntime;
   class Context;
 
-  NodeRuntime* runtime(NodeId id);
-  const NodeRuntime* runtime(NodeId id) const;
+  NodeRuntime* runtime(NodeId id) BD_EXCLUDES(nodes_mu_);
+  const NodeRuntime* runtime(NodeId id) const BD_EXCLUDES(nodes_mu_);
   void enqueue(NodeId to, NodeId from, Envelope env);
-  void node_loop(NodeRuntime& rt);
+  BD_NODE_THREAD void node_loop(NodeRuntime& rt);
   /// Creates the node's MatchExecutor pool (idempotent). Called by the
   /// node's Context from Node::start, i.e. on the node thread.
   bool enable_offload(NodeId id, int workers, std::size_t lanes);
@@ -99,8 +99,11 @@ class ThreadCluster {
   ThreadClusterConfig config_;
   std::chrono::steady_clock::time_point epoch_;
   Rng seed_rng_;
-  mutable std::mutex nodes_mu_;
-  std::unordered_map<NodeId, std::unique_ptr<NodeRuntime>> nodes_;
+  mutable bd::Mutex nodes_mu_;
+  /// The map itself is guarded; the pointed-to NodeRuntimes are stable
+  /// (never erased before shutdown) and carry their own lock.
+  std::unordered_map<NodeId, std::unique_ptr<NodeRuntime>> nodes_
+      BD_GUARDED_BY(nodes_mu_);
   std::atomic<std::uint64_t> dropped_{0};
 };
 

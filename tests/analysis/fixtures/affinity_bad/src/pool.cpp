@@ -1,0 +1,12 @@
+#include "pool.h"
+
+void Index::insert_subscription(int) {}
+void Index::erase_subscription(int) {}
+
+void Pool::rebuild() { index_.insert_subscription(1); }
+
+// Violation 1: WORKER -> (rebuild) -> NODE without a hand-off boundary.
+void Pool::worker_loop() { rebuild(); }
+
+// Violation 2: ANY -> NODE directly (a scraper thread touching node state).
+void Pool::metrics_scrape() { index_.erase_subscription(1); }

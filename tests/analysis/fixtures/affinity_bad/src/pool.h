@@ -1,0 +1,23 @@
+#pragma once
+// Golden fixture: a worker-pool class whose worker loop reaches node-thread
+// state through an unannotated helper. bd_affinity_check must report both
+// seeded violations (see ../expect.txt).
+#define BD_NODE_THREAD
+#define BD_WORKER_THREAD
+#define BD_ANY_THREAD
+
+class Index {
+ public:
+  BD_NODE_THREAD void insert_subscription(int id);
+  BD_NODE_THREAD void erase_subscription(int id);
+};
+
+class Pool {
+ public:
+  BD_WORKER_THREAD void worker_loop();
+  BD_ANY_THREAD void metrics_scrape();
+
+ private:
+  void rebuild();  // unannotated helper on the violation path
+  Index index_;
+};

@@ -1,0 +1,19 @@
+#include "pool.h"
+
+void Index::insert_subscription(int) {}
+void Index::erase_subscription(int) {}
+void Queue::post(Task) {}
+
+// Clean: the mutation is shipped to the node thread inside a task handed to
+// a boundary construct (post); the lexical call never runs on the worker.
+void Pool::worker_loop() {
+  queue_.post(Task{});
+  // The closure below is inside post()'s argument span in real code; here
+  // the boundary construct itself is the hand-off.
+}
+
+// Clean: audited hand-off the construct list cannot express.
+void Pool::metrics_scrape() {
+  // bd-affinity: boundary
+  index_.erase_subscription(1);
+}

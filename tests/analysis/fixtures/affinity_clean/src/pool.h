@@ -1,0 +1,30 @@
+#pragma once
+// Golden fixture: the same shape as affinity_bad, but every cross-thread
+// reach goes through an explicit hand-off (boundary construct or audited
+// waiver). bd_affinity_check must pass.
+#define BD_NODE_THREAD
+#define BD_WORKER_THREAD
+#define BD_ANY_THREAD
+
+struct Task {};
+
+class Index {
+ public:
+  BD_NODE_THREAD void insert_subscription(int id);
+  BD_NODE_THREAD void erase_subscription(int id);
+};
+
+class Queue {
+ public:
+  void post(Task t);
+};
+
+class Pool {
+ public:
+  BD_WORKER_THREAD void worker_loop();
+  BD_ANY_THREAD void metrics_scrape();
+
+ private:
+  Index index_;
+  Queue queue_;
+};

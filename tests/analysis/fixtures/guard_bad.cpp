@@ -1,0 +1,26 @@
+// Golden fixture: a guarded field written without its mutex. Compiling
+// this TU with `clang++ -Wthread-safety -Werror` must FAIL; the golden
+// driver asserts that (and skips the check when clang++ is absent — GCC
+// expands the annotations to nothing).
+#include "common/thread_safety.h"
+
+class Counter {
+ public:
+  void bump_locked() {
+    bd::LockGuard lock(mu_);
+    ++value_;
+  }
+  // Seeded violation: guarded field touched with the mutex not held.
+  void bump_racy() { ++value_; }
+
+ private:
+  bd::Mutex mu_;
+  long value_ BD_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.bump_locked();
+  c.bump_racy();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Golden fixture: the corrected twin of guard_bad.cpp — every access to the
+// guarded field holds the mutex. `clang++ -Wthread-safety -Werror` must
+// accept this TU.
+#include "common/thread_safety.h"
+
+class Counter {
+ public:
+  void bump() {
+    bd::LockGuard lock(mu_);
+    ++value_;
+  }
+  long value() {
+    bd::LockGuard lock(mu_);
+    return value_;
+  }
+
+ private:
+  bd::Mutex mu_;
+  long value_ BD_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Golden fixture: three seeded serde asymmetries bd_serde_check must report:
+//   1. Ping: reader decodes m.seq as u32, writer encoded u64.
+//   2. Report: writer guards the trace block with `trace_id != 0`, reader
+//      reads it unconditionally.
+//   3. write_extra has no read_extra (orphan writer).
+#include "proto.h"
+
+namespace demo {
+
+void write_payload(serde::Writer& w, const Ping& m) {
+  w.u64(m.seq);
+  w.f64(m.sent_at);
+}
+Ping read_ping(serde::Reader& r) {
+  Ping m;
+  m.seq = r.u32();
+  m.sent_at = r.f64();
+  return m;
+}
+
+void write_payload(serde::Writer& w, const Report& m) {
+  w.u32(m.node);
+  w.varint(m.trace_id);
+  if (m.trace_id != 0) {
+    w.varint(m.parent_span);
+  }
+}
+Report read_report(serde::Reader& r) {
+  Report m;
+  m.node = r.u32();
+  m.trace_id = r.varint();
+  m.parent_span = r.varint();
+  return m;
+}
+
+void write_extra(serde::Writer& w, const Report& m) { w.u32(m.node); }
+
+Envelope read_envelope(serde::Reader& r) {
+  switch (r.u8()) {
+    case 0:
+      return Envelope::of(read_ping(r));
+    case 1:
+      return Envelope::of(read_report(r));
+  }
+  return {};
+}
+
+}  // namespace demo

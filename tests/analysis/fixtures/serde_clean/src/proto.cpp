@@ -1,0 +1,51 @@
+// Golden fixture: the corrected twin of serde_bad — symmetric widths, the
+// trace conditional mirrored on both sides, a reader for every writer, and
+// a loop whose length varint precedes it on both sides. bd_serde_check
+// must pass.
+#include "proto.h"
+
+namespace demo {
+
+void write_payload(serde::Writer& w, const Ping& m) {
+  w.u64(m.seq);
+  w.f64(m.sent_at);
+}
+Ping read_ping(serde::Reader& r) {
+  Ping m;
+  m.seq = r.u64();
+  m.sent_at = r.f64();
+  return m;
+}
+
+void write_payload(serde::Writer& w, const Report& m) {
+  w.u32(m.node);
+  w.varint(m.samples.size());
+  for (double s : m.samples) w.f64(s);
+  w.varint(m.trace_id);
+  if (m.trace_id != 0) {
+    w.varint(m.parent_span);
+  }
+}
+Report read_report(serde::Reader& r) {
+  Report m;
+  m.node = r.u32();
+  const auto n = r.varint();
+  for (unsigned long i = 0; i < n && r.ok(); ++i) m.samples.push_back(r.f64());
+  m.trace_id = r.varint();
+  if (m.trace_id != 0) {
+    m.parent_span = r.varint();
+  }
+  return m;
+}
+
+Envelope read_envelope(serde::Reader& r) {
+  switch (r.u8()) {
+    case 0:
+      return Envelope::of(read_ping(r));
+    case 1:
+      return Envelope::of(read_report(r));
+  }
+  return {};
+}
+
+}  // namespace demo

@@ -13,11 +13,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "edge/edge_client.h"
 #include "edge/edge_dial.h"
 #include "edge/edge_frontend.h"
@@ -58,18 +58,18 @@ std::uint64_t counter(const EdgeFrontend& fe, const std::string& name) {
 
 /// Thread-safe capture of everything the edge injects into the "cluster".
 struct IngressCapture {
-  std::mutex mu;
-  std::vector<Envelope> envs;
+  bd::Mutex mu;
+  std::vector<Envelope> envs BD_GUARDED_BY(mu);
 
   EdgeFrontend::IngressFn fn() {
     return [this](Envelope&& e) {
-      std::lock_guard<std::mutex> lk(mu);
+      bd::LockGuard lk(mu);
       envs.push_back(std::move(e));
     };
   }
   template <typename T>
   std::vector<T> all() {
-    std::lock_guard<std::mutex> lk(mu);
+    bd::LockGuard lk(mu);
     std::vector<T> out;
     for (const Envelope& env : envs) {
       if (const T* m = std::get_if<T>(&env.payload)) out.push_back(*m);
@@ -184,10 +184,10 @@ TEST(EdgeFrontendTest, DeliveriesAreSequencedAndSubIdsMappedBack) {
   EdgeFrontend fe(cfg, 10, ingress.fn());
   fe.start();
 
-  std::mutex mu;
+  bd::Mutex mu;
   std::vector<EdgeEvent> events;
   EdgeClient client({"127.0.0.1", fe.port()}, [&](const EdgeEvent& ev) {
-    std::lock_guard<std::mutex> lk(mu);
+    bd::LockGuard lk(mu);
     events.push_back(ev);
   });
   ASSERT_TRUE(client.connect());
@@ -199,7 +199,7 @@ TEST(EdgeFrontendTest, DeliveriesAreSequencedAndSubIdsMappedBack) {
     fe.deliver(make_delivery(client.session(), gid, m, "payload" + std::to_string(m)));
   }
   ASSERT_TRUE(client.wait_deliveries(3, 10.0));
-  std::lock_guard<std::mutex> lk(mu);
+  bd::LockGuard lk(mu);
   ASSERT_EQ(events.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(events[i].seq, i + 1);
@@ -219,13 +219,13 @@ TEST(EdgeFrontendTest, ResumeReplaysDetachedDeliveriesGapFree) {
   EdgeFrontend fe(cfg, 10, ingress.fn());
   fe.start();
 
-  std::mutex mu;
+  bd::Mutex mu;
   std::vector<std::uint64_t> seqs;
   // ack_every high: nothing auto-acked, resume relies on hello.last_seq.
   EdgeClient client(
       {"127.0.0.1", fe.port()},
       [&](const EdgeEvent& ev) {
-        std::lock_guard<std::mutex> lk(mu);
+        bd::LockGuard lk(mu);
         seqs.push_back(ev.seq);
       },
       /*ack_every=*/1000000);
@@ -250,7 +250,7 @@ TEST(EdgeFrontendTest, ResumeReplaysDetachedDeliveriesGapFree) {
   ASSERT_TRUE(client.wait_deliveries(10, 10.0));
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   {
-    std::lock_guard<std::mutex> lk(mu);
+    bd::LockGuard lk(mu);
     ASSERT_EQ(seqs.size(), 10u);
     for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i + 1);
   }
@@ -326,12 +326,12 @@ TEST(EdgeFrontendTest, OversizedReplayFlushesInsteadOfEvicting) {
   EdgeFrontend fe(cfg, 10, ingress.fn());
   fe.start();
 
-  std::mutex mu;
+  bd::Mutex mu;
   std::vector<std::uint64_t> seqs;
   EdgeClient client(
       {"127.0.0.1", fe.port()},
       [&](const EdgeEvent& ev) {
-        std::lock_guard<std::mutex> lk(mu);
+        bd::LockGuard lk(mu);
         seqs.push_back(ev.seq);
       },
       /*ack_every=*/1);
@@ -353,7 +353,7 @@ TEST(EdgeFrontendTest, OversizedReplayFlushesInsteadOfEvicting) {
   ASSERT_TRUE(client.wait_deliveries(16, 10.0));
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   {
-    std::lock_guard<std::mutex> lk(mu);
+    bd::LockGuard lk(mu);
     ASSERT_EQ(seqs.size(), 16u);
     for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i + 1);
   }
@@ -617,10 +617,10 @@ TEST(EdgeClusterTest, EndToEndPubSubWithZeroPayloadCopies) {
   for (auto& host : matcher_hosts) host->start();
   fe.start();
 
-  std::mutex mu;
+  bd::Mutex mu;
   std::vector<EdgeEvent> events;
   EdgeClient client({"127.0.0.1", fe.port()}, [&](const EdgeEvent& ev) {
-    std::lock_guard<std::mutex> lk(mu);
+    bd::LockGuard lk(mu);
     events.push_back(ev);
   });
   ASSERT_TRUE(client.connect());
@@ -633,7 +633,7 @@ TEST(EdgeClusterTest, EndToEndPubSubWithZeroPayloadCopies) {
   ASSERT_TRUE(client.wait_deliveries(1, 10.0));
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
   {
-    std::lock_guard<std::mutex> lk(mu);
+    bd::LockGuard lk(mu);
     ASSERT_EQ(events.size(), 1u);
     EXPECT_EQ(events[0].seq, 1u);
     EXPECT_EQ(events[0].delivery.sub_id, sub);

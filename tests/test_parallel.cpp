@@ -14,11 +14,11 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "index/subscription_index.h"
 #include "index/subscription_store.h"
 #include "net/cluster_table.h"
@@ -127,17 +127,17 @@ TEST(MatchExecutor, RejectsWhenLaneFull) {
   runtime::MatchExecutor exec(cfg, post.fn());
 
   // Occupy the only worker behind a gate, then fill the lane.
-  std::mutex mu;
-  std::condition_variable cv;
-  bool gate_open = false;
+  bd::Mutex mu;
+  bd::CondVar cv;
+  bool gate_open BD_GUARDED_BY(mu) = false;
   std::atomic<bool> gate_running{false};
   std::atomic<int> done{0};
   ASSERT_TRUE(exec.submit(
       0,
       [&](OffloadWorker&) {
         gate_running.store(true);
-        std::unique_lock lock(mu);
-        cv.wait(lock, [&] { return gate_open; });
+        bd::UniqueLock lock(mu);
+        while (!gate_open) cv.wait(lock);
         return 0.0;
       },
       [&](double) { done.fetch_add(1); }));
@@ -152,7 +152,7 @@ TEST(MatchExecutor, RejectsWhenLaneFull) {
   EXPECT_FALSE(noop());  // lane at capacity: caller must run inline
 
   {
-    std::lock_guard lock(mu);
+    bd::LockGuard lock(mu);
     gate_open = true;
   }
   cv.notify_all();
@@ -171,8 +171,8 @@ TEST(MatchExecutor, PerWorkerRngStreamsAreSeedDeterministic) {
   // Each job draws once from its worker's stream. Which worker runs which
   // job is scheduling-dependent, but the sequence a given worker produces
   // must equal the Rng seeded with (seed + worker index).
-  std::mutex mu;
-  std::map<int, std::vector<std::uint64_t>> draws;
+  bd::Mutex mu;
+  std::map<int, std::vector<std::uint64_t>> draws;  // guarded by mu
   std::atomic<int> done{0};
   const int kJobs = 200;
   for (int i = 0; i < kJobs; ++i) {
@@ -180,7 +180,7 @@ TEST(MatchExecutor, PerWorkerRngStreamsAreSeedDeterministic) {
         static_cast<std::size_t>(i % 4),
         [&](OffloadWorker& w) {
           const std::uint64_t draw = w.rng->next_u64();
-          std::lock_guard lock(mu);
+          bd::LockGuard lock(mu);
           draws[w.index].push_back(draw);
           return 0.0;
         },
@@ -431,7 +431,7 @@ class SinkState {
  public:
   void record(const Envelope& env) {
     if (const auto* d = std::get_if<Delivery>(&env.payload)) {
-      std::lock_guard lock(mu_);
+      bd::LockGuard lock(mu_);
       delivered_[d->msg_id].insert(d->sub_id);
     } else if (std::holds_alternative<MatchCompleted>(env.payload)) {
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -439,13 +439,13 @@ class SinkState {
   }
   int completed() const { return completed_.load(std::memory_order_relaxed); }
   std::set<SubscriptionId> delivered(MessageId id) {
-    std::lock_guard lock(mu_);
+    bd::LockGuard lock(mu_);
     return delivered_[id];
   }
 
  private:
-  std::mutex mu_;
-  std::map<MessageId, std::set<SubscriptionId>> delivered_;
+  bd::Mutex mu_;
+  std::map<MessageId, std::set<SubscriptionId>> delivered_ BD_GUARDED_BY(mu_);
   std::atomic<int> completed_{0};
 };
 

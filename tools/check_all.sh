@@ -5,6 +5,9 @@
 #
 #   1. default build + full ctest suite
 #   2. in-tree lint (tools/lint_check.sh)
+#   2b. whole-program static analysis (tools/analysis/): thread-affinity
+#       reachability + serialize/deserialize symmetry, then the checker
+#       golden-file suite (ctest label: analysis)
 #   3. determinism digest double-run (tools/determinism_check.sh)
 #   4. audit-enabled test label (invariant auditor, affinity checker)
 #   5. SIMD kernel label (vector kernels vs the scalar oracle)
@@ -40,6 +43,11 @@ ctest --test-dir "${repo_root}/build" --output-on-failure -j "${jobs}"
 
 echo "== lint =="
 "${repo_root}/tools/lint_check.sh" "${repo_root}/build"
+
+echo "== static analysis (affinity + serde checkers, goldens) =="
+python3 "${repo_root}/tools/analysis/bd_affinity_check.py" --root "${repo_root}"
+python3 "${repo_root}/tools/analysis/bd_serde_check.py" --root "${repo_root}"
+ctest --test-dir "${repo_root}/build" --output-on-failure -L analysis
 
 echo "== determinism =="
 "${repo_root}/tools/determinism_check.sh" "${repo_root}/build"

@@ -29,6 +29,20 @@ Rules (names usable in waivers):
                   so the threading contract is written where the handler is
                   declared and the runtime checker has a documented anchor.
 
+  raw-mutex       `std::mutex` / `std::lock_guard` / `std::unique_lock` /
+                  `std::scoped_lock` / `std::condition_variable` are banned
+                  everywhere except src/common/thread_safety.h, which wraps
+                  them in the Clang-TSA-annotated bd::Mutex / bd::LockGuard /
+                  bd::UniqueLock / bd::CondVar shims. Raw primitives are
+                  invisible to -Wthread-safety, so one stray std::mutex
+                  re-opens the whole class of lock-discipline bugs the
+                  annotations closed (DESIGN.md section 17).
+
+  detach          `.detach()` on a thread is banned outright: a detached
+                  thread outlives every shutdown path, races destructors,
+                  and breaks the join-before-teardown discipline every
+                  substrate relies on. Keep the handle and join it.
+
   intrinsics      Raw SIMD intrinsics (_mm*/__m128/__m256/__m512, NEON
                   vld1q_/float64x2_t and friends, or including immintrin.h /
                   arm_neon.h) are confined to src/simd/. Everything else goes
@@ -83,6 +97,11 @@ INTRINSICS_RE = re.compile(
     r"|\b(?:float|uint|int)(?:32|64)x[24]_t\b"   # NEON vector types
     r"|#\s*include\s*[<\"](?:immintrin|arm_neon|x86intrin)\.h[>\"]")
 INTRINSICS_ALLOWED = ("src/simd/",)
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard"
+    r"|unique_lock|shared_lock|scoped_lock|condition_variable(?:_any)?)\b")
+RAW_MUTEX_ALLOWED = ("src/common/thread_safety.h",)
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 
 
 def waived(rule, line, prev_line):
@@ -127,6 +146,16 @@ def lint_file(rel, lines, report):
                 report(path, num, "affinity",
                        "handle_* declaration without a BD_*_THREAD "
                        "affinity annotation (common/affinity.h)")
+        if path not in RAW_MUTEX_ALLOWED and RAW_MUTEX_RE.search(code):
+            if not waived("raw-mutex", line, prev):
+                report(path, num, "raw-mutex",
+                       "raw std synchronization primitive; use the annotated "
+                       "bd:: shims from common/thread_safety.h")
+        if DETACH_RE.search(code):
+            if not waived("detach", line, prev):
+                report(path, num, "detach",
+                       "detached thread; keep the handle and join it on "
+                       "shutdown")
         if not path.startswith(INTRINSICS_ALLOWED) \
                 and INTRINSICS_RE.search(code):
             if not waived("intrinsics", line, prev):
